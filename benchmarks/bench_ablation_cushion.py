@@ -1,0 +1,50 @@
+"""Ablation: the verification cushion (Section 4.1).
+
+Sweeps the cushion and reports both sides of the tradeoff on one
+population: flooding-attack acceptance (Fig 5's metric — rises with the
+cushion) against legitimate rejection (Fig 6's — falls with it).  The
+paper picks 0.1; the sweep shows where that sits on the curve.
+"""
+
+import numpy as np
+
+from repro.attacks.flooding import (
+    flooding_attack_experiment,
+    legitimate_rejection_experiment,
+)
+from repro.experiments.harness import build_simulation
+from repro.experiments.report import format_table
+
+CUSHIONS = (0.0, 0.05, 0.1, 0.2)
+
+
+def run_sweep(scale="small", seed=0):
+    simulation = build_simulation(scale=scale, seed=seed, monitor_noise_std=0.05)
+    rows = []
+    for cushion in CUSHIONS:
+        accept = flooding_attack_experiment(
+            simulation.nodes, simulation.predicate, simulation.true_availability,
+            cushion=cushion, max_targets=80,
+            rng=np.random.default_rng(cushion.hex().__hash__() % 2**31),
+        )
+        reject = legitimate_rejection_experiment(
+            simulation.nodes, simulation.predicate, simulation.true_availability,
+            cushion=cushion,
+        )
+        rows.append([cushion, accept.overall, reject.overall])
+    return rows
+
+
+def test_ablation_cushion(benchmark, bench_scale, bench_seed):
+    rows = benchmark.pedantic(
+        run_sweep, kwargs=dict(scale=bench_scale, seed=bench_seed),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table(
+        ["cushion", "flood_accept_rate", "legit_reject_rate"], rows
+    ))
+    accepts = [r[1] for r in rows]
+    rejects = [r[2] for r in rows]
+    assert accepts[-1] >= accepts[0]  # cushion admits more attackers...
+    assert rejects[-1] <= rejects[0]  # ...but rejects fewer valid messages

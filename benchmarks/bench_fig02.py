@@ -1,0 +1,15 @@
+"""Benchmark: System snapshot: online population, HS/VS sizes vs availability (Fig 2).
+
+Paper: 442 online nodes; HS median grows with availability; VS median uncorrelated.
+"""
+
+from repro.experiments.figures import fig02
+
+from conftest import run_figure_benchmark
+
+
+def test_fig02(benchmark, bench_scale, bench_seed):
+    result = run_figure_benchmark(
+        benchmark, fig02.run, bench_scale, bench_seed
+    )
+    assert result.rows

@@ -1,0 +1,15 @@
+"""Benchmark: Horizontal sliver scaling (Fig 3).
+
+Paper: HS size grows sublinearly with the number of candidates within +/- epsilon.
+"""
+
+from repro.experiments.figures import fig03
+
+from conftest import run_figure_benchmark
+
+
+def test_fig03(benchmark, bench_scale, bench_seed):
+    result = run_figure_benchmark(
+        benchmark, fig03.run, bench_scale, bench_seed
+    )
+    assert result.rows

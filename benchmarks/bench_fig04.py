@@ -1,0 +1,15 @@
+"""Benchmark: Incoming vertical-sliver link distribution (Fig 4).
+
+Paper: incoming VS references are uniform across availability bands.
+"""
+
+from repro.experiments.figures import fig04
+
+from conftest import run_figure_benchmark
+
+
+def test_fig04(benchmark, bench_scale, bench_seed):
+    result = run_figure_benchmark(
+        benchmark, fig04.run, bench_scale, bench_seed
+    )
+    assert result.rows

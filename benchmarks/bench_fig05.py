@@ -1,0 +1,15 @@
+"""Benchmark: Flooding attack acceptance (Fig 5).
+
+Paper: < 10% of non-neighbors accept a selfish node's messages (cushion 0).
+"""
+
+from repro.experiments.figures import fig05
+
+from conftest import run_figure_benchmark
+
+
+def test_fig05(benchmark, bench_scale, bench_seed):
+    result = run_figure_benchmark(
+        benchmark, fig05.run, bench_scale, bench_seed
+    )
+    assert result.rows

@@ -1,0 +1,15 @@
+"""Benchmark: Legitimate rejection rate (Fig 6).
+
+Paper: < 30% rejection at cushion 0, < 20% at cushion 0.1.
+"""
+
+from repro.experiments.figures import fig06
+
+from conftest import run_figure_benchmark
+
+
+def test_fig06(benchmark, bench_scale, bench_seed):
+    result = run_figure_benchmark(
+        benchmark, fig06.run, bench_scale, bench_seed
+    )
+    assert result.rows

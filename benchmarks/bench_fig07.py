@@ -1,0 +1,15 @@
+"""Benchmark: Range-anycast hop distribution, MID -> [0.85, 0.95] (Fig 7).
+
+Paper: 100% success; all but HS-only deliver within 1 hop w.h.p.
+"""
+
+from repro.experiments.figures import fig07
+
+from conftest import run_figure_benchmark
+
+
+def test_fig07(benchmark, bench_scale, bench_seed):
+    result = run_figure_benchmark(
+        benchmark, fig07.run, bench_scale, bench_seed
+    )
+    assert result.rows

@@ -1,0 +1,15 @@
+"""Benchmark: Range-anycast delivery under harsh targets (Fig 8).
+
+Paper: success falls with the target range; HS+VS is the strongest variant.
+"""
+
+from repro.experiments.figures import fig08
+
+from conftest import run_figure_benchmark
+
+
+def test_fig08(benchmark, bench_scale, bench_seed):
+    result = run_figure_benchmark(
+        benchmark, fig08.run, bench_scale, bench_seed
+    )
+    assert result.rows

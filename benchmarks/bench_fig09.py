@@ -1,0 +1,15 @@
+"""Benchmark: Retried-greedy anycast sweep, HIGH -> [0.15, 0.25] (Fig 9).
+
+Paper: retry=8 plateau at ~60% delivery, ~739 ms average latency.
+"""
+
+from repro.experiments.figures import fig09
+
+from conftest import run_figure_benchmark
+
+
+def test_fig09(benchmark, bench_scale, bench_seed):
+    result = run_figure_benchmark(
+        benchmark, fig09.run, bench_scale, bench_seed
+    )
+    assert result.rows

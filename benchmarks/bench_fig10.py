@@ -1,0 +1,15 @@
+"""Benchmark: Retried-greedy anycast over a random overlay (Fig 10).
+
+Paper: lower delivery than AVMEM (Fig 9) at similar latency.
+"""
+
+from repro.experiments.figures import fig10
+
+from conftest import run_figure_benchmark
+
+
+def test_fig10(benchmark, bench_scale, bench_seed):
+    result = run_figure_benchmark(
+        benchmark, fig10.run, bench_scale, bench_seed
+    )
+    assert result.rows

@@ -1,0 +1,15 @@
+"""Benchmark: Multicast worst-case latency CDF (Fig 11).
+
+Paper: flooding completes below ~300 ms; gossip below ~5.5 s.
+"""
+
+from repro.experiments.figures import fig11
+
+from conftest import run_figure_benchmark
+
+
+def test_fig11(benchmark, bench_scale, bench_seed):
+    result = run_figure_benchmark(
+        benchmark, fig11.run, bench_scale, bench_seed
+    )
+    assert result.rows

@@ -1,0 +1,15 @@
+"""Benchmark: Multicast spam-ratio CDF (Fig 12).
+
+Paper: below ~8% for most scenarios.
+"""
+
+from repro.experiments.figures import fig12
+
+from conftest import run_figure_benchmark
+
+
+def test_fig12(benchmark, bench_scale, bench_seed):
+    result = run_figure_benchmark(
+        benchmark, fig12.run, bench_scale, bench_seed
+    )
+    assert result.rows

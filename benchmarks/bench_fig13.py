@@ -1,0 +1,15 @@
+"""Benchmark: Multicast reliability CDF (Fig 13).
+
+Paper: flooding > 90%, gossip ~= 70%.
+"""
+
+from repro.experiments.figures import fig13
+
+from conftest import run_figure_benchmark
+
+
+def test_fig13(benchmark, bench_scale, bench_seed):
+    result = run_figure_benchmark(
+        benchmark, fig13.run, bench_scale, bench_seed
+    )
+    assert result.rows

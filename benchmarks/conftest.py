@@ -1,0 +1,46 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's evaluation figures and
+prints the same rows/series the paper plots, so a run of
+
+    pytest benchmarks/ --benchmark-only
+
+doubles as the reproduction report.  The scale defaults to ``medium``
+(same experimental shape as the paper at ~4x less compute); set
+``AVMEM_BENCH_SCALE=full`` for the paper's exact 1442-host setup or
+``small`` for a quick pass.
+
+Figure experiments are end-to-end simulations (minutes at full scale),
+so every benchmark uses ``benchmark.pedantic(rounds=1, iterations=1)``
+— the timing is a one-shot wall-clock measurement, not a statistical
+microbenchmark.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+BENCH_SCALE = os.environ.get("AVMEM_BENCH_SCALE", "medium")
+BENCH_SEED = int(os.environ.get("AVMEM_BENCH_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return BENCH_SEED
+
+
+def run_figure_benchmark(benchmark, runner, scale: str, seed: int, **kwargs):
+    """Execute one figure driver under pytest-benchmark and print it."""
+    result = benchmark.pedantic(
+        runner, kwargs=dict(scale=scale, seed=seed, **kwargs), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    return result

@@ -1,0 +1,68 @@
+"""Availability-dependent publish-subscribe (use case I, data operations).
+
+"A publish-subscribe or multicast application where packets are sent out
+to only nodes above a certain availability … would incentivize hosts to
+have higher availability, in order to obtain good reliability"
+(Section 1).  This example publishes a stream of updates to subscribers
+above an availability threshold, comparing the flooding and gossip
+dissemination modes on reliability, latency, and message cost — the
+Figs 11-13 tradeoff, seen from an application.
+
+Run:  python examples/availability_multicast.py
+"""
+
+import numpy as np
+
+from repro import AvmemSimulation, SimulationSettings
+
+THRESHOLD = 0.75
+PUBLICATIONS = 12
+
+
+def publish(simulation, mode):
+    records = simulation.run_multicast_batch(
+        PUBLICATIONS, THRESHOLD, "high", mode=mode, spacing=8.0, settle=20.0
+    )
+    reliabilities = [r.reliability() for r in records if r.reliability() == r.reliability()]
+    latencies = [
+        1000 * r.worst_latency() for r in records if r.worst_latency() is not None
+    ]
+    messages = [r.data_messages for r in records]
+    return {
+        "reliability": float(np.mean(reliabilities)) if reliabilities else float("nan"),
+        "worst_latency_ms": float(np.mean(latencies)) if latencies else float("nan"),
+        "messages_per_publish": float(np.mean(messages)),
+    }
+
+
+def main() -> None:
+    simulation = AvmemSimulation(SimulationSettings(hosts=220, epochs=96, seed=23))
+    simulation.setup(warmup=24600.0, settle=2400.0)
+    eligible = sum(
+        1
+        for node in simulation.online_ids()
+        if simulation.true_availability(node) > THRESHOLD
+    )
+    print(
+        f"publishing to subscribers with availability > {THRESHOLD} "
+        f"({eligible} currently online)"
+    )
+
+    flood = publish(simulation, "flood")
+    gossip = publish(simulation, "gossip")
+
+    print(f"{'mode':<8} {'reliability':>12} {'worst-lat (ms)':>15} {'msgs/publish':>13}")
+    for mode, stats in (("flood", flood), ("gossip", gossip)):
+        print(
+            f"{mode:<8} {stats['reliability']:>12.2f} "
+            f"{stats['worst_latency_ms']:>15.0f} {stats['messages_per_publish']:>13.0f}"
+        )
+    print(
+        "flooding buys reliability with duplicate traffic; gossip trades "
+        "a little reliability and seconds of latency for fewer messages — "
+        "the paper's Figs 11-13 tradeoff"
+    )
+
+
+if __name__ == "__main__":
+    main()

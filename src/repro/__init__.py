@@ -1,0 +1,54 @@
+"""AVMEM — availability-aware overlays for management operations in
+non-cooperative distributed systems.
+
+A from-scratch Python reproduction of Cho, Morales & Gupta (Middleware
+2007): the consistent, randomized, availability-aware membership
+predicate family; the discovery/refresh maintenance protocols; and the
+threshold/range anycast and multicast management operations — evaluated
+under Overnet-style churn on a discrete-event simulator.
+
+Quickstart
+----------
+>>> from repro import AvmemSimulation, SimulationSettings
+>>> sim = AvmemSimulation(SimulationSettings(hosts=200, seed=7))
+>>> sim.setup(warmup=3600.0)
+>>> result = sim.run_anycast(initiator_band="mid", target=(0.85, 0.95))
+>>> result.delivered
+True
+
+See README.md for the full tour and DESIGN.md for the architecture.
+"""
+
+from repro.core import (
+    AvailabilityPdf,
+    AvmemConfig,
+    AvmemNode,
+    AvmemPredicate,
+    NodeDescriptor,
+    NodeId,
+    SliverKind,
+    SliverSelector,
+    make_node_ids,
+    paper_predicate,
+    random_overlay_predicate,
+)
+from repro.simulation import AvmemSimulation, SimulationSettings
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "NodeId",
+    "make_node_ids",
+    "NodeDescriptor",
+    "AvailabilityPdf",
+    "AvmemPredicate",
+    "paper_predicate",
+    "random_overlay_predicate",
+    "SliverKind",
+    "SliverSelector",
+    "AvmemConfig",
+    "AvmemNode",
+    "AvmemSimulation",
+    "SimulationSettings",
+]

@@ -1,0 +1,16 @@
+"""Non-cooperative behaviour: flooding attacks and verification analysis."""
+
+from repro.attacks.flooding import (
+    BandedRates,
+    flooding_attack_experiment,
+    legitimate_rejection_experiment,
+)
+from repro.attacks.selfish import SprayOutcome, spray_attack
+
+__all__ = [
+    "BandedRates",
+    "flooding_attack_experiment",
+    "legitimate_rejection_experiment",
+    "SprayOutcome",
+    "spray_attack",
+]

@@ -1,0 +1,104 @@
+"""Trace persistence: save/load epoch matrices.
+
+Two formats are supported:
+
+* **NPZ** (binary, compact) — the epoch matrix plus metadata arrays.
+* **Text** (human-readable, diff-able) — a header line followed by one
+  ``0``/``1`` row per epoch.  This is also the drop-in format for a real
+  Overnet trace should one be obtained: one column per host, one row per
+  20-minute probe.
+
+Round-tripping through either format preserves the epoch matrix exactly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.churn.trace import ChurnTrace
+
+__all__ = ["save_trace_npz", "load_trace_npz", "save_trace_text", "load_trace_text"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+_TEXT_MAGIC = "avmem-trace-v1"
+
+
+def save_trace_npz(path: PathLike, trace: ChurnTrace, epoch_seconds: float) -> None:
+    """Save ``trace`` as an NPZ epoch matrix sampled at ``epoch_seconds``."""
+    matrix, keys = trace.to_matrix(epoch_seconds)
+    np.savez_compressed(
+        path,
+        matrix=matrix,
+        node_keys=np.array([str(k) for k in keys]),
+        epoch_seconds=np.array([epoch_seconds]),
+    )
+
+
+def load_trace_npz(path: PathLike) -> ChurnTrace:
+    """Load a trace saved by :func:`save_trace_npz`.
+
+    Node keys come back as strings (NPZ cannot persist arbitrary Python
+    keys); callers that need richer keys should re-map with
+    :meth:`ChurnTrace.from_matrix` themselves.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        matrix = data["matrix"]
+        keys = [str(k) for k in data["node_keys"]]
+        epoch_seconds = float(data["epoch_seconds"][0])
+    return ChurnTrace.from_matrix(matrix, keys, epoch_seconds)
+
+
+def save_trace_text(path: PathLike, trace: ChurnTrace, epoch_seconds: float) -> None:
+    """Save ``trace`` in the documented text format."""
+    matrix, keys = trace.to_matrix(epoch_seconds)
+    epochs, n = matrix.shape
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"{_TEXT_MAGIC} epochs={epochs} nodes={n} epoch_seconds={epoch_seconds}\n")
+        fh.write("# one column per node, one row per epoch; 1=online\n")
+        fh.write(" ".join(str(k) for k in keys) + "\n")
+        for e in range(epochs):
+            fh.write("".join("1" if v else "0" for v in matrix[e]) + "\n")
+
+
+def _parse_header(line: str) -> Tuple[int, int, float]:
+    parts = line.strip().split()
+    if not parts or parts[0] != _TEXT_MAGIC:
+        raise ValueError(f"not an AVMEM trace file (bad magic in {line!r})")
+    fields = dict(p.split("=", 1) for p in parts[1:])
+    try:
+        return int(fields["epochs"]), int(fields["nodes"]), float(fields["epoch_seconds"])
+    except KeyError as exc:
+        raise ValueError(f"trace header missing field: {exc}") from exc
+
+
+def load_trace_text(path: PathLike) -> ChurnTrace:
+    """Load a trace saved by :func:`save_trace_text`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        header = fh.readline()
+        epochs, n_nodes, epoch_seconds = _parse_header(header)
+        keys: Sequence[str] = ()
+        rows: List[List[bool]] = []
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if not keys:
+                keys = line.split()
+                if len(keys) != n_nodes:
+                    raise ValueError(
+                        f"header promises {n_nodes} nodes but key row has {len(keys)}"
+                    )
+                continue
+            if len(line) != n_nodes:
+                raise ValueError(
+                    f"epoch row has {len(line)} columns, expected {n_nodes}: {line[:40]!r}…"
+                )
+            rows.append([c == "1" for c in line])
+    if len(rows) != epochs:
+        raise ValueError(f"header promises {epochs} epochs but file has {len(rows)}")
+    matrix = np.array(rows, dtype=bool)
+    return ChurnTrace.from_matrix(matrix, list(keys), epoch_seconds)

@@ -1,0 +1,260 @@
+"""Churn traces: per-node online/offline schedules over simulated time.
+
+The paper injects availability-variation traces from the Overnet p2p
+system (1442 hosts, 7 days, 20-minute measurement epochs) into its
+simulator.  This module defines the trace representation those
+experiments run on:
+
+* :class:`NodeSchedule` — one node's sorted, disjoint online intervals,
+  with fraction-uptime ("availability") queries.
+* :class:`ChurnTrace` — a set of schedules keyed by node, implementing
+  the :class:`~repro.sim.network.PresenceOracle` protocol so the network
+  can gate delivery on presence.
+
+Traces can be built directly from interval lists, or from a boolean
+epoch × node matrix (the shape measurement studies produce); see
+:meth:`ChurnTrace.from_matrix` and :mod:`repro.churn.overnet` for the
+synthetic Overnet-like generator.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["NodeSchedule", "ChurnTrace"]
+
+NodeKey = Hashable
+Interval = Tuple[float, float]
+
+
+def _normalize_intervals(intervals: Iterable[Interval]) -> List[Interval]:
+    """Sort, validate, and merge touching/overlapping intervals."""
+    cleaned: List[Interval] = []
+    for start, end in sorted((float(s), float(e)) for s, e in intervals):
+        if end < start:
+            raise ValueError(f"interval end before start: ({start}, {end})")
+        if end == start:
+            continue  # zero-length sessions carry no information
+        if cleaned and start <= cleaned[-1][1]:
+            prev_start, prev_end = cleaned[-1]
+            cleaned[-1] = (prev_start, max(prev_end, end))
+        else:
+            cleaned.append((start, end))
+    return cleaned
+
+
+class NodeSchedule:
+    """One node's online sessions as half-open intervals ``[start, end)``."""
+
+    __slots__ = ("_intervals", "_starts", "_ends", "_cum_uptime")
+
+    def __init__(self, intervals: Iterable[Interval]):
+        self._intervals = _normalize_intervals(intervals)
+        self._starts = [iv[0] for iv in self._intervals]
+        self._ends = [iv[1] for iv in self._intervals]
+        # Cumulative uptime *before* interval i, enabling O(log n) uptime().
+        cum = [0.0]
+        for start, end in self._intervals:
+            cum.append(cum[-1] + (end - start))
+        self._cum_uptime = cum
+
+    # ------------------------------------------------------------------
+    # Presence
+    # ------------------------------------------------------------------
+    def is_online(self, time: float) -> bool:
+        """Whether the node is online at ``time`` (half-open intervals)."""
+        idx = bisect.bisect_right(self._starts, time) - 1
+        return idx >= 0 and time < self._ends[idx]
+
+    def next_transition(self, time: float) -> Optional[float]:
+        """The next instant (> time) at which presence flips, or None."""
+        idx = bisect.bisect_right(self._starts, time) - 1
+        if idx >= 0 and time < self._ends[idx]:
+            return self._ends[idx]  # currently online; next flip is session end
+        nxt = idx + 1
+        if nxt < len(self._starts):
+            return self._starts[nxt]
+        return None
+
+    # ------------------------------------------------------------------
+    # Uptime / availability
+    # ------------------------------------------------------------------
+    def uptime(self, until: float, since: float = 0.0) -> float:
+        """Seconds online within ``[since, until]``."""
+        if until < since:
+            raise ValueError(f"until ({until}) must be >= since ({since})")
+        return self._uptime_before(until) - self._uptime_before(since)
+
+    def availability(self, until: float, since: float = 0.0) -> float:
+        """Fraction uptime over ``[since, until]`` — the paper's ``av(x)``.
+
+        A zero-length window returns the instantaneous presence (1.0 or
+        0.0), so early-trace queries stay well-defined.
+        """
+        span = until - since
+        if span <= 0:
+            return 1.0 if self.is_online(until) else 0.0
+        return self.uptime(until, since) / span
+
+    def _uptime_before(self, time: float) -> float:
+        idx = bisect.bisect_right(self._starts, time) - 1
+        if idx < 0:
+            return 0.0
+        full = self._cum_uptime[idx]
+        start, end = self._intervals[idx]
+        return full + min(time, end) - start if time > start else full
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def intervals(self) -> Tuple[Interval, ...]:
+        return tuple(self._intervals)
+
+    @property
+    def session_count(self) -> int:
+        return len(self._intervals)
+
+    def session_lengths(self) -> List[float]:
+        return [end - start for start, end in self._intervals]
+
+    def first_appearance(self) -> Optional[float]:
+        return self._starts[0] if self._starts else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NodeSchedule(sessions={self.session_count})"
+
+
+class ChurnTrace:
+    """Schedules for a population of nodes; acts as a presence oracle."""
+
+    def __init__(self, schedules: Dict[NodeKey, NodeSchedule], horizon: float):
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        self._schedules = dict(schedules)
+        self.horizon = float(horizon)
+        self._order: Tuple[NodeKey, ...] = tuple(self._schedules)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_matrix(
+        cls,
+        matrix: np.ndarray,
+        node_keys: Sequence[NodeKey],
+        epoch_seconds: float,
+    ) -> "ChurnTrace":
+        """Build a trace from a boolean ``epochs × nodes`` matrix.
+
+        ``matrix[e, i]`` is True when node ``node_keys[i]`` was online
+        during epoch ``e``; each epoch spans ``epoch_seconds``.
+        """
+        matrix = np.asarray(matrix, dtype=bool)
+        if matrix.ndim != 2:
+            raise ValueError(f"matrix must be 2-D (epochs x nodes), got shape {matrix.shape}")
+        epochs, n_nodes = matrix.shape
+        if n_nodes != len(node_keys):
+            raise ValueError(
+                f"matrix has {n_nodes} node columns but {len(node_keys)} keys were given"
+            )
+        if len(set(node_keys)) != len(node_keys):
+            raise ValueError("node keys must be unique")
+        if epoch_seconds <= 0:
+            raise ValueError(f"epoch_seconds must be positive, got {epoch_seconds}")
+        schedules: Dict[NodeKey, NodeSchedule] = {}
+        for i, key in enumerate(node_keys):
+            column = matrix[:, i]
+            intervals: List[Interval] = []
+            run_start: Optional[int] = None
+            for e in range(epochs):
+                if column[e] and run_start is None:
+                    run_start = e
+                elif not column[e] and run_start is not None:
+                    intervals.append((run_start * epoch_seconds, e * epoch_seconds))
+                    run_start = None
+            if run_start is not None:
+                intervals.append((run_start * epoch_seconds, epochs * epoch_seconds))
+            schedules[key] = NodeSchedule(intervals)
+        return cls(schedules, horizon=epochs * epoch_seconds)
+
+    def to_matrix(self, epoch_seconds: float) -> Tuple[np.ndarray, Tuple[NodeKey, ...]]:
+        """Sample presence at epoch midpoints back into a boolean matrix."""
+        if epoch_seconds <= 0:
+            raise ValueError(f"epoch_seconds must be positive, got {epoch_seconds}")
+        epochs = int(round(self.horizon / epoch_seconds))
+        matrix = np.zeros((epochs, len(self._order)), dtype=bool)
+        for i, key in enumerate(self._order):
+            schedule = self._schedules[key]
+            for e in range(epochs):
+                midpoint = (e + 0.5) * epoch_seconds
+                matrix[e, i] = schedule.is_online(midpoint)
+        return matrix, self._order
+
+    # ------------------------------------------------------------------
+    # PresenceOracle protocol
+    # ------------------------------------------------------------------
+    def is_online(self, node: NodeKey, time: float) -> bool:
+        schedule = self._schedules.get(node)
+        return schedule.is_online(time) if schedule is not None else False
+
+    # ------------------------------------------------------------------
+    # Population queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Tuple[NodeKey, ...]:
+        return self._order
+
+    @property
+    def node_count(self) -> int:
+        return len(self._order)
+
+    def schedule(self, node: NodeKey) -> NodeSchedule:
+        return self._schedules[node]
+
+    def __contains__(self, node: NodeKey) -> bool:
+        return node in self._schedules
+
+    def online_nodes(self, time: float) -> List[NodeKey]:
+        return [key for key in self._order if self._schedules[key].is_online(time)]
+
+    def online_count(self, time: float) -> int:
+        return sum(1 for key in self._order if self._schedules[key].is_online(time))
+
+    # ------------------------------------------------------------------
+    # Availability queries
+    # ------------------------------------------------------------------
+    def availability(self, node: NodeKey, until: float, since: float = 0.0) -> float:
+        """Raw fraction uptime of ``node`` over ``[since, until]``."""
+        return self._schedules[node].availability(until, since)
+
+    def windowed_availability(self, node: NodeKey, time: float, window: float) -> float:
+        """Fraction uptime over the trailing ``window`` seconds (an "aged"
+        availability per Section 3.1's monitoring-service definition)."""
+        since = max(0.0, time - window)
+        return self._schedules[node].availability(time, since)
+
+    def lifetime_availability(self, node: NodeKey) -> float:
+        """Fraction uptime over the full trace horizon."""
+        return self._schedules[node].availability(self.horizon)
+
+    def availabilities(self, until: Optional[float] = None) -> Dict[NodeKey, float]:
+        """Raw availabilities of every node measured up to ``until``
+        (default: full horizon)."""
+        t = self.horizon if until is None else float(until)
+        return {key: self._schedules[key].availability(t) for key in self._order}
+
+    def restrict(self, nodes: Iterable[NodeKey]) -> "ChurnTrace":
+        """A sub-trace containing only ``nodes`` (order preserved)."""
+        wanted = set(nodes)
+        missing = wanted - set(self._order)
+        if missing:
+            raise KeyError(f"unknown nodes: {sorted(map(repr, missing))[:5]}")
+        kept = {key: self._schedules[key] for key in self._order if key in wanted}
+        return ChurnTrace(kept, self.horizon)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ChurnTrace(nodes={self.node_count}, horizon={self.horizon:.0f}s)"

@@ -1,0 +1,123 @@
+"""Command-line interface.
+
+    avmem figure fig7 --scale small --seed 3
+    avmem figures --scale medium
+    avmem trace --hosts 300 --epochs 120 --out trace.txt
+    avmem snapshot --scale small
+
+``python -m repro`` is an alias for the ``avmem`` entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.harness import SCALES, build_simulation
+from repro.experiments.snapshot import take_snapshot
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the `avmem` argument parser (exposed for tests/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="avmem",
+        description="AVMEM (Middleware 2007) reproduction — figures, traces, snapshots",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure", help="regenerate one evaluation figure")
+    fig.add_argument("figure_id", choices=sorted(ALL_FIGURES, key=_fig_key))
+    _add_common(fig)
+
+    figs = sub.add_parser("figures", help="regenerate every evaluation figure")
+    _add_common(figs)
+
+    trace = sub.add_parser("trace", help="generate a synthetic Overnet-like trace")
+    trace.add_argument("--hosts", type=int, default=1442)
+    trace.add_argument("--epochs", type=int, default=504)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--out", required=True, help="output path (.txt or .npz)")
+
+    snap = sub.add_parser("snapshot", help="print overlay snapshot statistics")
+    _add_common(snap)
+    return parser
+
+
+def _fig_key(figure_id: str) -> int:
+    return int(figure_id.replace("fig", ""))
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", choices=sorted(SCALES), default="small")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_figure(args) -> int:
+    result = ALL_FIGURES[args.figure_id](scale=args.scale, seed=args.seed)
+    print(result.render())
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    for figure_id in sorted(ALL_FIGURES, key=_fig_key):
+        result = ALL_FIGURES[figure_id](scale=args.scale, seed=args.seed)
+        print(result.render())
+        print()
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.churn.loader import save_trace_npz, save_trace_text
+    from repro.churn.overnet import OvernetTraceConfig, generate_overnet_trace
+    from repro.churn.stats import summarize_trace
+
+    config = OvernetTraceConfig(hosts=args.hosts, epochs=args.epochs)
+    trace = generate_overnet_trace(config=config, seed=args.seed)
+    if args.out.endswith(".npz"):
+        save_trace_npz(args.out, trace, config.epoch_seconds)
+    else:
+        save_trace_text(args.out, trace, config.epoch_seconds)
+    summary = summarize_trace(trace)
+    for key, value in summary.as_dict().items():
+        print(f"{key}: {value:.4g}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_snapshot(args) -> int:
+    simulation = build_simulation(scale=args.scale, seed=args.seed)
+    snapshot = take_snapshot(simulation)
+    print(f"time: {snapshot.time:.0f}s  online nodes: {snapshot.online_count}")
+    print("band      nodes  hs_mean  vs_mean  incoming_vs")
+    counts, edges = snapshot.availability_histogram(bins=10)
+    hs = snapshot.hs_by_band()
+    vs = snapshot.vs_by_band()
+    inc = snapshot.incoming_vs_by_band()
+    for i, count in enumerate(counts):
+        band = round(float(edges[i]), 2)
+        print(
+            f"[{band:.1f},{band + 0.1:.1f})  {int(count):5d}  "
+            f"{hs.get(band, float('nan')):7.1f}  {vs.get(band, float('nan')):7.1f}  "
+            f"{inc.get(band, float('nan')):11.1f}"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "figure": _cmd_figure,
+        "figures": _cmd_figures,
+        "trace": _cmd_trace,
+        "snapshot": _cmd_snapshot,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

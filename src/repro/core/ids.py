@@ -1,0 +1,80 @@
+"""Node identifiers.
+
+The paper identifies a node by its address — "the identifier (hash-based
+or IP-port) of node x is denoted as id(x)".  :class:`NodeId` models the
+IP:port form and carries a precomputed stable 64-bit digest of the
+endpoint string, which is what the consistent pairwise hash functions in
+:mod:`repro.core.hashing` mix.  The digest is derived with SHA-1, so it
+is stable across processes and Python versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["NodeId", "make_node_ids", "digest_array"]
+
+
+def _endpoint_digest64(endpoint: str) -> int:
+    """Stable 64-bit digest of an endpoint string (big-endian SHA-1 prefix)."""
+    return int.from_bytes(hashlib.sha1(endpoint.encode("utf-8")).digest()[:8], "big")
+
+
+@dataclass(frozen=True, order=True)
+class NodeId:
+    """An IP:port node identity.
+
+    Instances are immutable, hashable, and totally ordered (by host then
+    port) so they can key dictionaries and be sorted deterministically in
+    reports.
+    """
+
+    host: str
+    port: int
+    digest64: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self):
+        if not self.host:
+            raise ValueError("host must be non-empty")
+        if not 0 < self.port < 65536:
+            raise ValueError(f"port must be in (0, 65536), got {self.port}")
+        object.__setattr__(self, "digest64", _endpoint_digest64(self.endpoint))
+
+    @property
+    def endpoint(self) -> str:
+        """The canonical ``host:port`` string the paper hashes."""
+        return f"{self.host}:{self.port}"
+
+    @classmethod
+    def from_index(cls, index: int, port: int = 9000) -> "NodeId":
+        """Deterministic synthetic address for host number ``index``.
+
+        Used by trace generators and tests: host ``index`` maps into the
+        10.0.0.0/8 space, so up to ~16.7M distinct synthetic hosts.
+        """
+        if index < 0 or index >= (1 << 24):
+            raise ValueError(f"index must be in [0, 2^24), got {index}")
+        a = (index >> 16) & 0xFF
+        b = (index >> 8) & 0xFF
+        c = index & 0xFF
+        return cls(host=f"10.{a}.{b}.{c}", port=port)
+
+    def __str__(self) -> str:
+        return self.endpoint
+
+
+def make_node_ids(count: int, port: int = 9000) -> List[NodeId]:
+    """``count`` deterministic synthetic node ids."""
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    return [NodeId.from_index(i, port=port) for i in range(count)]
+
+
+def digest_array(nodes: Sequence[NodeId]) -> np.ndarray:
+    """The nodes' 64-bit digests as a ``uint64`` array (for vectorized
+    hashing in :mod:`repro.core.hashing`)."""
+    return np.array([n.digest64 for n in nodes], dtype=np.uint64)

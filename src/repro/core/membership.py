@@ -1,0 +1,154 @@
+"""Per-node membership state: the horizontal and vertical slivers.
+
+Each node maintains two small lists (Fig 1): ``HS(x)`` — nodes with
+availability close to its own — and ``VS(x)`` — a sample across the rest
+of the availability space.  Entries carry the availability value that
+was *cached* when the entry was last checked, plus the time of that
+check: the ops layer forwards using these cached values ("this eschews
+querying the availability service for each forwarded message",
+Section 3.2), which is exactly what makes Figs 5-6's staleness effects
+observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.ids import NodeId
+from repro.core.predicates import NodeDescriptor, SliverKind
+
+__all__ = ["MemberEntry", "MembershipLists", "SliverSelector"]
+
+
+@dataclass(frozen=True)
+class MemberEntry:
+    """One neighbor: identity, cached availability, sliver, bookkeeping."""
+
+    node: NodeId
+    availability: float  # cached value used by forwarding decisions
+    kind: SliverKind
+    added_at: float
+    checked_at: float
+
+    @property
+    def descriptor(self) -> NodeDescriptor:
+        return NodeDescriptor(self.node, self.availability)
+
+    def refreshed(self, availability: float, kind: SliverKind, now: float) -> "MemberEntry":
+        return replace(self, availability=availability, kind=kind, checked_at=now)
+
+
+class SliverSelector:
+    """Which neighbor sets an operation may use (Section 3.2's
+    HS-only / VS-only / HS+VS flavors)."""
+
+    HS_ONLY = "hs"
+    VS_ONLY = "vs"
+    BOTH = "hs+vs"
+
+    _VALID = (HS_ONLY, VS_ONLY, BOTH)
+
+    @classmethod
+    def validate(cls, selector: str) -> str:
+        if selector not in cls._VALID:
+            raise ValueError(
+                f"selector must be one of {cls._VALID}, got {selector!r}"
+            )
+        return selector
+
+
+class MembershipLists:
+    """The HS/VS neighbor tables of one node."""
+
+    def __init__(self, owner: NodeId):
+        self.owner = owner
+        self._horizontal: Dict[NodeId, MemberEntry] = {}
+        self._vertical: Dict[NodeId, MemberEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def upsert(
+        self, node: NodeId, availability: float, kind: SliverKind, now: float
+    ) -> MemberEntry:
+        """Insert or update a neighbor, moving it between slivers if its
+        classification changed."""
+        if node == self.owner:
+            raise ValueError("a node cannot be its own neighbor")
+        existing = self._horizontal.pop(node, None) or self._vertical.pop(node, None)
+        if existing is None:
+            entry = MemberEntry(
+                node=node, availability=availability, kind=kind, added_at=now, checked_at=now
+            )
+        else:
+            entry = existing.refreshed(availability, kind, now)
+        self._table(kind)[node] = entry
+        return entry
+
+    def remove(self, node: NodeId) -> bool:
+        """Drop a neighbor from whichever sliver holds it."""
+        return (
+            self._horizontal.pop(node, None) is not None
+            or self._vertical.pop(node, None) is not None
+        )
+
+    def clear(self) -> None:
+        self._horizontal.clear()
+        self._vertical.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _table(self, kind: SliverKind) -> Dict[NodeId, MemberEntry]:
+        return self._horizontal if kind is SliverKind.HORIZONTAL else self._vertical
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._horizontal or node in self._vertical
+
+    def get(self, node: NodeId) -> Optional[MemberEntry]:
+        return self._horizontal.get(node) or self._vertical.get(node)
+
+    @property
+    def horizontal(self) -> Tuple[MemberEntry, ...]:
+        return tuple(self._horizontal.values())
+
+    @property
+    def vertical(self) -> Tuple[MemberEntry, ...]:
+        return tuple(self._vertical.values())
+
+    @property
+    def horizontal_count(self) -> int:
+        return len(self._horizontal)
+
+    @property
+    def vertical_count(self) -> int:
+        return len(self._vertical)
+
+    @property
+    def total_count(self) -> int:
+        return len(self._horizontal) + len(self._vertical)
+
+    def entries(self, selector: str = SliverSelector.BOTH) -> List[MemberEntry]:
+        """Neighbors visible under an HS/VS/both selector, deterministic
+        order (HS first, then VS, each in insertion order)."""
+        SliverSelector.validate(selector)
+        out: List[MemberEntry] = []
+        if selector in (SliverSelector.HS_ONLY, SliverSelector.BOTH):
+            out.extend(self._horizontal.values())
+        if selector in (SliverSelector.VS_ONLY, SliverSelector.BOTH):
+            out.extend(self._vertical.values())
+        return out
+
+    def neighbor_ids(self, selector: str = SliverSelector.BOTH) -> List[NodeId]:
+        return [entry.node for entry in self.entries(selector)]
+
+    def all_entries(self) -> Iterable[MemberEntry]:
+        yield from self._horizontal.values()
+        yield from self._vertical.values()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MembershipLists(owner={self.owner}, hs={self.horizontal_count}, "
+            f"vs={self.vertical_count})"
+        )

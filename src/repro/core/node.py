@@ -1,0 +1,241 @@
+"""The AVMEM node: discovery and refresh sub-protocols (Section 3.1),
+plus message dispatch for the management operations built on top.
+
+Discovery (every ``discovery_period``, typically 1 minute): iterate the
+coarse view; for every entry not already a neighbor, fetch its
+availability from the monitoring service and evaluate the predicate;
+insert matches into HS/VS.
+
+Refresh (every ``refresh_period``, typically 20 minutes): re-fetch the
+availability of every current neighbor, re-evaluate the predicate, drop
+entries for which ``M(x, y)`` has become false, and re-classify entries
+whose sliver changed.  Refresh is also when availability caches are
+brought up to date — between refreshes, forwarding decisions use the
+cached (stale) values.
+
+Both protocols only run while the node is online per the churn trace; a
+node that goes offline keeps its lists and resumes where it left off —
+matching how a real process would persist soft state across restarts
+within the measurement horizon.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Type
+
+import numpy as np
+
+from repro.core.config import AvmemConfig
+from repro.core.ids import NodeId
+from repro.core.membership import MembershipLists
+from repro.core.predicates import AvmemPredicate, NodeDescriptor, SliverKind
+from repro.core.verification import InboundVerifier
+from repro.monitor.base import CoarseViewProvider
+from repro.monitor.cache import CachedAvailabilityView
+from repro.sim.engine import PeriodicTask, Simulator
+from repro.sim.network import Envelope, Network
+
+__all__ = ["AvmemNode"]
+
+PayloadHandler = Callable[["AvmemNode", Envelope], None]
+
+
+class AvmemNode:
+    """One AVMEM participant.
+
+    Parameters
+    ----------
+    node_id, sim, network:
+        Identity and substrate bindings.  The node attaches itself to the
+        network on construction.
+    predicate:
+        The application-specified AVMEM predicate (shared, consistent).
+    config:
+        Protocol periods, cushion, etc.
+    availability_view:
+        This node's cached window onto the availability monitoring
+        service.  Each node gets its *own* cache — staleness is per-node.
+    coarse_view:
+        The shuffled partial-membership service.
+    rng:
+        Stream for protocol randomness (start staggering, tie-breaking).
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        sim: Simulator,
+        network: Network,
+        predicate: AvmemPredicate,
+        config: AvmemConfig,
+        availability_view: CachedAvailabilityView,
+        coarse_view: CoarseViewProvider,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.id = node_id
+        self.sim = sim
+        self.network = network
+        self.predicate = predicate
+        self.config = config
+        self.availability = availability_view
+        self.coarse_view = coarse_view
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.lists = MembershipLists(node_id)
+        self.verifier = InboundVerifier(
+            node_id, predicate, availability_view, cushion=config.cushion
+        )
+        self.discovery_rounds = 0
+        self.refresh_rounds = 0
+        self._handlers: Dict[Type, PayloadHandler] = {}
+        self._tasks: List[PeriodicTask] = []
+        network.attach(node_id, self._on_envelope)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, stagger: bool = True) -> None:
+        """Begin the discovery and refresh loops.
+
+        ``stagger`` randomizes each loop's first firing within one period
+        so a large population does not run in lockstep.
+        """
+        if self._tasks:
+            raise RuntimeError(f"node {self.id} already started")
+        d_delay = float(self.rng.uniform(0, self.config.discovery_period)) if stagger else None
+        r_delay = float(self.rng.uniform(0, self.config.refresh_period)) if stagger else None
+        self._tasks.append(
+            PeriodicTask(self.sim, self.config.discovery_period, self.discovery_step, start_delay=d_delay)
+        )
+        self._tasks.append(
+            PeriodicTask(self.sim, self.config.refresh_period, self.refresh_step, start_delay=r_delay)
+        )
+
+    def stop(self) -> None:
+        for task in self._tasks:
+            task.stop()
+        self._tasks.clear()
+
+    @property
+    def online(self) -> bool:
+        return self.network.is_online(self.id)
+
+    # ------------------------------------------------------------------
+    # Descriptors
+    # ------------------------------------------------------------------
+    def self_descriptor(self, fresh: bool = False) -> NodeDescriptor:
+        """This node's (id, availability) pair, from its own cache.
+
+        ``fresh`` forces a fetch from the monitoring service.
+        """
+        if fresh:
+            value = self.availability.fetch(self.id)
+        else:
+            value = self.availability.get_or_fetch(self.id)
+        return NodeDescriptor(self.id, value)
+
+    # ------------------------------------------------------------------
+    # Discovery sub-protocol
+    # ------------------------------------------------------------------
+    def discovery_step(self) -> int:
+        """One discovery round.  Returns the number of neighbors added."""
+        if not self.online:
+            return 0
+        self.discovery_rounds += 1
+        me = self.self_descriptor(fresh=True)
+        added = 0
+        for candidate in self.coarse_view.view(self.id):
+            if candidate == self.id or candidate in self.lists:
+                continue
+            if self.config.discovery_liveness and not self.network.is_online(candidate):
+                continue  # handshake with the candidate failed; skip it
+            av_candidate = self.availability.fetch(candidate)
+            kind = self.predicate.evaluate_kind(me, NodeDescriptor(candidate, av_candidate))
+            if kind is not None:
+                self.lists.upsert(candidate, av_candidate, kind, self.sim.now)
+                added += 1
+        return added
+
+    # ------------------------------------------------------------------
+    # Refresh sub-protocol
+    # ------------------------------------------------------------------
+    def refresh_step(self) -> int:
+        """One refresh round.  Returns the number of neighbors evicted.
+
+        An entry is evicted when the predicate no longer holds for the
+        re-fetched availabilities, or (with ``config.refresh_liveness``)
+        when the neighbor fails its liveness probe — it will re-enter the
+        lists through discovery once it is back and still satisfies the
+        predicate.
+        """
+        if not self.online:
+            return 0
+        self.refresh_rounds += 1
+        me = self.self_descriptor(fresh=True)
+        evicted = 0
+        for entry in list(self.lists.all_entries()):
+            if self.config.refresh_liveness and not self.network.is_online(entry.node):
+                self.lists.remove(entry.node)
+                evicted += 1
+                continue
+            av_neighbor = self.availability.fetch(entry.node)
+            kind = self.predicate.evaluate_kind(me, NodeDescriptor(entry.node, av_neighbor))
+            if kind is None:
+                self.lists.remove(entry.node)
+                evicted += 1
+            else:
+                self.lists.upsert(entry.node, av_neighbor, kind, self.sim.now)
+        return evicted
+
+    # ------------------------------------------------------------------
+    # Direct bootstrap (consistent-predicate shortcut)
+    # ------------------------------------------------------------------
+    def bootstrap_from(self, candidates: Sequence[NodeDescriptor]) -> int:
+        """Fill the lists by evaluating the predicate against a candidate
+        set directly.
+
+        Because the predicate is *consistent*, the overlay it spans is a
+        pure function of (ids, availabilities); this shortcut produces
+        exactly the graph the discovery protocol converges to, and is
+        used by ``bootstrap="direct"`` simulations to skip warm-up
+        (DESIGN.md §1.5).  Returns the number of neighbors installed.
+        """
+        me = self.self_descriptor(fresh=True)
+        ids = [c.node for c in candidates]
+        avs = np.array([c.availability for c in candidates], dtype=float)
+        member, horizontal = self.predicate.evaluate_many(me, ids, avs)
+        now = self.sim.now
+        added = 0
+        for i in np.flatnonzero(member):
+            descriptor = candidates[i]
+            kind = SliverKind.HORIZONTAL if horizontal[i] else SliverKind.VERTICAL
+            self.lists.upsert(descriptor.node, descriptor.availability, kind, now)
+            added += 1
+        return added
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def register_handler(self, payload_type: Type, handler: PayloadHandler) -> None:
+        """Route incoming payloads of ``payload_type`` to ``handler``.
+
+        The ops layer registers its message types here; one handler per
+        type.
+        """
+        if payload_type in self._handlers:
+            raise ValueError(f"handler for {payload_type.__name__} already registered")
+        self._handlers[payload_type] = handler
+
+    def send(self, dst: NodeId, payload: Any) -> bool:
+        """Send a payload through the network (presence-gated)."""
+        return self.network.send(self.id, dst, payload)
+
+    def _on_envelope(self, envelope: Envelope) -> None:
+        handler = self._handlers.get(type(envelope.payload))
+        if handler is not None:
+            handler(self, envelope)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AvmemNode({self.id}, hs={self.lists.horizontal_count}, "
+            f"vs={self.lists.vertical_count})"
+        )

@@ -1,0 +1,225 @@
+"""The AVMEM membership-predicate framework (Section 2, equation 1).
+
+``M(x, y) ≡ { H(id(x), id(y)) ≤ f(av(x), av(y)) }``
+
+* **Consistent** — the value depends only on the two identifiers and
+  their availabilities, so the recipient or any third party can verify a
+  claimed relationship (the anti-selfishness property).
+* **Random** — ``H`` is uniform on [0, 1), so membership is a Bernoulli
+  trial with success probability ``f``, giving the randomization that
+  connectivity arguments need.
+
+``f`` dispatches on the availability distance: within ±ε it is the
+horizontal sub-predicate (slivers of *similar* availability), otherwise
+the vertical one (long links across the availability space) — Fig 1.
+
+The optional **cushion** is the Section 4.1 accommodation for stale or
+inconsistent availability estimates: verification accepts when
+``H ≤ f + cushion``.  The cushion applies at *verification*, not at
+neighbor selection, so it does not inflate membership lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.availability import AvailabilityPdf
+from repro.core.hashing import Mix64PairHash, PairwiseHash
+from repro.core.ids import NodeId, digest_array
+from repro.core.slivers import (
+    HorizontalSliverRule,
+    LogarithmicConstantHorizontal,
+    LogarithmicVertical,
+    RandomUniformRule,
+    VerticalSliverRule,
+)
+from repro.util.validation import check_positive, check_probability, check_unit_interval
+
+__all__ = ["SliverKind", "NodeDescriptor", "AvmemPredicate", "random_overlay_predicate"]
+
+
+class SliverKind(Enum):
+    """Which membership list a neighbor belongs to."""
+
+    HORIZONTAL = "horizontal"
+    VERTICAL = "vertical"
+
+
+@dataclass(frozen=True)
+class NodeDescriptor:
+    """The (identifier, availability) pair the predicate operates on."""
+
+    node: NodeId
+    availability: float
+
+    def __post_init__(self):
+        check_unit_interval(self.availability, "availability")
+
+    def with_availability(self, availability: float) -> "NodeDescriptor":
+        return NodeDescriptor(self.node, availability)
+
+
+class AvmemPredicate:
+    """A concrete AVMEM predicate: sliver rules + ε + hash + PDF.
+
+    The canonical paper configuration is
+    ``AvmemPredicate(LogarithmicConstantHorizontal(), LogarithmicVertical(), pdf)``.
+    """
+
+    def __init__(
+        self,
+        horizontal: HorizontalSliverRule,
+        vertical: VerticalSliverRule,
+        pdf: AvailabilityPdf,
+        epsilon: float = 0.1,
+        hash_fn: Optional[PairwiseHash] = None,
+    ):
+        if not isinstance(horizontal, HorizontalSliverRule):
+            raise TypeError(f"horizontal must be a HorizontalSliverRule, got {horizontal!r}")
+        if not isinstance(vertical, VerticalSliverRule):
+            raise TypeError(f"vertical must be a VerticalSliverRule, got {vertical!r}")
+        self.horizontal = horizontal
+        self.vertical = vertical
+        self.pdf = pdf
+        self.epsilon = check_positive(epsilon, "epsilon")
+        self.hash_fn = hash_fn if hash_fn is not None else Mix64PairHash()
+
+    # ------------------------------------------------------------------
+    # Scalar evaluation
+    # ------------------------------------------------------------------
+    def classify(self, av_x: float, av_y: float) -> SliverKind:
+        """Horizontal when ``|av(x) − av(y)| < ε``, else vertical."""
+        if abs(av_x - av_y) < self.epsilon:
+            return SliverKind.HORIZONTAL
+        return SliverKind.VERTICAL
+
+    def threshold(self, av_x: float, av_y: float) -> float:
+        """``f(av(x), av(y))`` — dispatch to the matching sliver rule."""
+        if self.classify(av_x, av_y) is SliverKind.HORIZONTAL:
+            return self.horizontal.threshold(av_x, av_y, self.pdf)
+        return self.vertical.threshold(av_x, av_y, self.pdf)
+
+    def hash_value(self, x: NodeId, y: NodeId) -> float:
+        """``H(id(x), id(y))``."""
+        return self.hash_fn.value(x, y)
+
+    def evaluate(
+        self, x: NodeDescriptor, y: NodeDescriptor, cushion: float = 0.0
+    ) -> bool:
+        """``M(x, y)`` — should ``y`` be in ``x``'s membership list?
+
+        ``cushion`` loosens verification against stale availability data
+        (Section 4.1); pass 0 for selection.  A node is never its own
+        neighbor.
+        """
+        check_probability(cushion, "cushion")
+        if x.node == y.node:
+            return False
+        f = self.threshold(x.availability, y.availability)
+        return self.hash_value(x.node, y.node) <= min(1.0, f + cushion)
+
+    def evaluate_kind(
+        self, x: NodeDescriptor, y: NodeDescriptor, cushion: float = 0.0
+    ) -> Optional[SliverKind]:
+        """``M(x, y)`` with the sliver classification, or None."""
+        if not self.evaluate(x, y, cushion=cushion):
+            return None
+        return self.classify(x.availability, y.availability)
+
+    # ------------------------------------------------------------------
+    # Vectorized evaluation (direct overlay construction)
+    # ------------------------------------------------------------------
+    def evaluate_many(
+        self,
+        x: NodeDescriptor,
+        candidates: Sequence[NodeId],
+        availabilities: np.ndarray,
+        cushion: float = 0.0,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Evaluate ``M(x, y_i)`` for many candidates at once.
+
+        Returns ``(member_mask, horizontal_mask)`` — boolean arrays over
+        the candidates.  Requires a vectorizable hash (mix64); falls back
+        to a scalar loop otherwise.  Any candidate equal to ``x`` itself
+        is excluded.
+        """
+        availabilities = np.asarray(availabilities, dtype=float)
+        if len(candidates) != availabilities.size:
+            raise ValueError(
+                f"{len(candidates)} candidates but {availabilities.size} availabilities"
+            )
+        horizontal_mask = np.abs(availabilities - x.availability) < self.epsilon
+        thresholds = np.empty(availabilities.size, dtype=float)
+        if horizontal_mask.any():
+            thresholds[horizontal_mask] = self.horizontal.threshold_many(
+                x.availability, availabilities[horizontal_mask], self.pdf
+            )
+        vertical_mask = ~horizontal_mask
+        if vertical_mask.any():
+            thresholds[vertical_mask] = self.vertical.threshold_many(
+                x.availability, availabilities[vertical_mask], self.pdf
+            )
+        if cushion:
+            thresholds = np.minimum(1.0, thresholds + cushion)
+        if self.hash_fn.supports_vectorized:
+            hashes = self.hash_fn.value_many(x.node, digest_array(candidates))
+        else:
+            hashes = np.array([self.hash_fn.value(x.node, y) for y in candidates])
+        member = hashes <= thresholds
+        for i, y in enumerate(candidates):
+            if y == x.node:
+                member[i] = False
+        return member, horizontal_mask
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AvmemPredicate(h={self.horizontal!r}, v={self.vertical!r}, "
+            f"epsilon={self.epsilon}, hash={self.hash_fn.name})"
+        )
+
+
+def paper_predicate(
+    pdf: AvailabilityPdf,
+    epsilon: float = 0.1,
+    c1: float = 3.0,
+    c2: float = 1.0,
+    hash_fn: Optional[PairwiseHash] = None,
+) -> AvmemPredicate:
+    """The paper's default predicate: I.B vertical + II.B horizontal."""
+    return AvmemPredicate(
+        horizontal=LogarithmicConstantHorizontal(c2=c2, epsilon=epsilon),
+        vertical=LogarithmicVertical(c1=c1),
+        pdf=pdf,
+        epsilon=epsilon,
+        hash_fn=hash_fn,
+    )
+
+
+def random_overlay_predicate(
+    pdf: AvailabilityPdf,
+    probability: Optional[float] = None,
+    expected_degree: Optional[float] = None,
+    epsilon: float = 0.1,
+    hash_fn: Optional[PairwiseHash] = None,
+) -> AvmemPredicate:
+    """The consistent *random* overlay baseline of Fig 10 (``f = p``).
+
+    Provide either ``probability`` directly or ``expected_degree`` to
+    degree-match AVMEM.
+    """
+    if (probability is None) == (expected_degree is None):
+        raise ValueError("pass exactly one of probability / expected_degree")
+    if probability is None:
+        rule = RandomUniformRule.matching_expected_degree(expected_degree, pdf.n_star)
+    else:
+        rule = RandomUniformRule(probability)
+    return AvmemPredicate(
+        horizontal=rule, vertical=rule, pdf=pdf, epsilon=epsilon, hash_fn=hash_fn
+    )
+
+
+__all__.append("paper_predicate")

@@ -1,0 +1,294 @@
+"""The family of AVMEM sliver sub-predicates (Section 2.1).
+
+Every rule maps ``(av(x), av(y), p(·))`` to an acceptance threshold in
+[0, 1] which the framework compares against ``H(id(x), id(y))``:
+
+Vertical sub-predicates (neighbors *outside* the ±ε band):
+
+* **I.A ConstantVertical** — availability-independent probability; best
+  for uniform availability PDFs.
+* **I.B LogarithmicVertical** — ``min(c1·log(N*) / (N*·p(av(y))), 1)``;
+  Theorem 1: uniform coverage of the availability space.
+* **I.C LogarithmicDecreasingVertical** — I.B additionally divided by
+  ``|av(y) − av(x)|``; Corollary 1.1: neighbor density decays with
+  availability distance, Pastry/Chord-finger-style.
+
+Horizontal sub-predicates (neighbors *inside* the ±ε band):
+
+* **II.A ConstantHorizontal** — fixed probability.
+* **II.B LogarithmicConstantHorizontal** —
+  ``min(c2·log(N*_av(x)) / N*min_av(x), 1)``; Theorems 2 & 3:
+  connectivity within the band with O(log) neighbors.
+
+A note on I.A/II.A: the paper writes their right-hand sides as
+``d = O(log N*)`` — a *neighbor count*, although ``f`` must be a
+probability.  We therefore expose them as probabilities with
+``from_target_count`` constructors that convert an intended expected
+neighbor count into the corresponding probability (DESIGN.md §1.1).
+
+**RandomUniformRule** (``f = p`` everywhere) yields the consistent
+random overlay the paper compares against in Fig 10 ("a random overlay
+graph similar to those created by … SCAMP, CYCLON, T-MAN").
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Union
+
+import numpy as np
+
+from repro.core.availability import AvailabilityPdf
+from repro.util.mathx import log_at_least_one
+from repro.util.validation import check_positive, check_probability
+
+__all__ = [
+    "VerticalSliverRule",
+    "HorizontalSliverRule",
+    "ConstantVertical",
+    "LogarithmicVertical",
+    "LogarithmicDecreasingVertical",
+    "ConstantHorizontal",
+    "LogarithmicConstantHorizontal",
+    "RandomUniformRule",
+    "FunctionRule",
+]
+
+#: Densities below this are treated as "no nodes here": the 1/p(av(y))
+#: factor is capped (threshold becomes 1.0), mirroring the min(·, 1.0)
+#: in the paper's formulas.
+_DENSITY_FLOOR = 1e-12
+
+
+class _Rule(abc.ABC):
+    """Shared base: scalar threshold plus an optionally-vectorized form."""
+
+    @abc.abstractmethod
+    def threshold(self, av_x: float, av_y: float, pdf: AvailabilityPdf) -> float:
+        """The ``f(av(x), av(y))`` value in [0, 1]."""
+
+    def threshold_many(
+        self, av_x: float, av_ys: np.ndarray, pdf: AvailabilityPdf
+    ) -> np.ndarray:
+        """Vectorized thresholds for many candidate neighbors (default:
+        loop; subclasses override with closed-form array math)."""
+        return np.array([self.threshold(av_x, float(a), pdf) for a in av_ys])
+
+
+class VerticalSliverRule(_Rule):
+    """Marker base class for vertical sub-predicates."""
+
+
+class HorizontalSliverRule(_Rule):
+    """Marker base class for horizontal sub-predicates."""
+
+
+# ----------------------------------------------------------------------
+# Vertical sub-predicates
+# ----------------------------------------------------------------------
+class ConstantVertical(VerticalSliverRule):
+    """[I.A] availability-independent acceptance probability."""
+
+    def __init__(self, probability: float):
+        self.probability = check_probability(probability, "vertical probability")
+
+    @classmethod
+    def from_target_count(cls, d1: float, n_star: float) -> "ConstantVertical":
+        """Probability yielding an expected ``d1`` vertical neighbors out of
+        ``N*`` candidates (the paper's ``d1 = O(log N*)`` reading)."""
+        check_positive(d1, "d1")
+        check_positive(n_star, "n_star")
+        return cls(min(1.0, d1 / n_star))
+
+    def threshold(self, av_x: float, av_y: float, pdf: AvailabilityPdf) -> float:
+        return self.probability
+
+    def threshold_many(self, av_x, av_ys, pdf):
+        return np.full(len(av_ys), self.probability)
+
+    def __repr__(self) -> str:
+        return f"ConstantVertical(p={self.probability:.4g})"
+
+
+class LogarithmicVertical(VerticalSliverRule):
+    """[I.B] ``min(c1·log(N*) / (N*·p(av(y))), 1)`` — uniform coverage."""
+
+    def __init__(self, c1: float = 3.0):
+        self.c1 = check_positive(c1, "c1")
+
+    def threshold(self, av_x: float, av_y: float, pdf: AvailabilityPdf) -> float:
+        density = pdf.density(av_y)
+        if density <= _DENSITY_FLOOR:
+            return 1.0
+        value = self.c1 * log_at_least_one(pdf.n_star) / (pdf.n_star * density)
+        return min(value, 1.0)
+
+    def threshold_many(self, av_x, av_ys, pdf):
+        densities = np.asarray(pdf.density(np.asarray(av_ys, dtype=float)))
+        numerator = self.c1 * log_at_least_one(pdf.n_star)
+        with np.errstate(divide="ignore"):
+            values = numerator / (pdf.n_star * densities)
+        values[densities <= _DENSITY_FLOOR] = 1.0
+        return np.minimum(values, 1.0)
+
+    def __repr__(self) -> str:
+        return f"LogarithmicVertical(c1={self.c1})"
+
+
+class LogarithmicDecreasingVertical(VerticalSliverRule):
+    """[I.C] I.B divided by ``|av(y) − av(x)|`` — exponentially-spaced
+    long links, Pastry/Chord-style (Corollary 1.1)."""
+
+    def __init__(self, c1: float = 3.0):
+        self.c1 = check_positive(c1, "c1")
+
+    def threshold(self, av_x: float, av_y: float, pdf: AvailabilityPdf) -> float:
+        density = pdf.density(av_y)
+        distance = abs(av_y - av_x)
+        if density <= _DENSITY_FLOOR or distance <= 0.0:
+            return 1.0
+        value = self.c1 * log_at_least_one(pdf.n_star) / (pdf.n_star * density * distance)
+        return min(value, 1.0)
+
+    def threshold_many(self, av_x, av_ys, pdf):
+        av_ys = np.asarray(av_ys, dtype=float)
+        densities = np.asarray(pdf.density(av_ys))
+        distances = np.abs(av_ys - av_x)
+        numerator = self.c1 * log_at_least_one(pdf.n_star)
+        degenerate = (densities <= _DENSITY_FLOOR) | (distances <= 0.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            values = numerator / (pdf.n_star * densities * distances)
+        values[degenerate] = 1.0
+        return np.minimum(values, 1.0)
+
+    def __repr__(self) -> str:
+        return f"LogarithmicDecreasingVertical(c1={self.c1})"
+
+
+# ----------------------------------------------------------------------
+# Horizontal sub-predicates
+# ----------------------------------------------------------------------
+class ConstantHorizontal(HorizontalSliverRule):
+    """[II.A] fixed acceptance probability within the ±ε band."""
+
+    def __init__(self, probability: float):
+        self.probability = check_probability(probability, "horizontal probability")
+
+    @classmethod
+    def from_target_count(
+        cls, d2: float, n_star_av: float
+    ) -> "ConstantHorizontal":
+        """Probability yielding an expected ``d2`` horizontal neighbors out
+        of the ``N*_av(x)`` candidates in the band."""
+        check_positive(d2, "d2")
+        check_positive(n_star_av, "n_star_av")
+        return cls(min(1.0, d2 / n_star_av))
+
+    def threshold(self, av_x: float, av_y: float, pdf: AvailabilityPdf) -> float:
+        return self.probability
+
+    def threshold_many(self, av_x, av_ys, pdf):
+        return np.full(len(av_ys), self.probability)
+
+    def __repr__(self) -> str:
+        return f"ConstantHorizontal(p={self.probability:.4g})"
+
+
+class LogarithmicConstantHorizontal(HorizontalSliverRule):
+    """[II.B] ``min(c2·log(N*_av(x)) / N*min_av(x), 1)``.
+
+    The threshold depends only on ``av(x)`` (plus the global ε baked into
+    the surrounding predicate's band test), so it is cached per ``av_x``
+    — important because the discovery loop evaluates it for every coarse
+    view entry.
+    """
+
+    def __init__(self, c2: float = 1.0, epsilon: float = 0.1):
+        self.c2 = check_positive(c2, "c2")
+        self.epsilon = check_positive(epsilon, "epsilon")
+        self._cache: dict = {}
+
+    def threshold(self, av_x: float, av_y: float, pdf: AvailabilityPdf) -> float:
+        # Quantize the cache key: the threshold is piecewise-linear in
+        # av_x, so 1e-3 granularity is far below bin resolution while
+        # giving the discovery loop near-perfect cache reuse.
+        key = (id(pdf), round(av_x, 3))
+        cached = self._cache.get(key)
+        if cached is None:
+            n_av = pdf.n_star_av(av_x, self.epsilon)
+            n_min = pdf.n_star_min_av(av_x, self.epsilon)
+            if n_min <= 0.0:
+                cached = 1.0
+            else:
+                cached = min(self.c2 * log_at_least_one(n_av) / n_min, 1.0)
+            if len(self._cache) > 65536:
+                self._cache.clear()
+            self._cache[key] = cached
+        return cached
+
+    def threshold_many(self, av_x, av_ys, pdf):
+        return np.full(len(av_ys), self.threshold(av_x, 0.0, pdf))
+
+    def __repr__(self) -> str:
+        return f"LogarithmicConstantHorizontal(c2={self.c2}, epsilon={self.epsilon})"
+
+
+# ----------------------------------------------------------------------
+# Application-specified rules
+# ----------------------------------------------------------------------
+class FunctionRule(VerticalSliverRule, HorizontalSliverRule):
+    """An application-specified sub-predicate (Section 1.3's headline:
+    "AVMEM allows arbitrary classes of application-specified predicates").
+
+    Wraps any pure callable ``f(av_x, av_y, pdf) -> value`` into a sliver
+    rule; the returned value is clamped into [0, 1].  The callable must
+    be deterministic — it becomes part of the *consistent* predicate, so
+    every node (and every verifier) has to compute the same threshold
+    from the same inputs.
+
+    >>> prefer_stable = FunctionRule(lambda ax, ay, pdf: ay**2, name="av^2")
+    """
+
+    def __init__(self, fn, name: str = "custom"):
+        if not callable(fn):
+            raise TypeError(f"fn must be callable, got {fn!r}")
+        self._fn = fn
+        self.name = str(name)
+
+    def threshold(self, av_x: float, av_y: float, pdf: AvailabilityPdf) -> float:
+        value = float(self._fn(av_x, av_y, pdf))
+        if value != value:  # NaN from the application callable
+            raise ValueError(f"custom rule {self.name!r} returned NaN")
+        return min(1.0, max(0.0, value))
+
+    def __repr__(self) -> str:
+        return f"FunctionRule({self.name!r})"
+
+
+# ----------------------------------------------------------------------
+# Random baseline
+# ----------------------------------------------------------------------
+class RandomUniformRule(VerticalSliverRule, HorizontalSliverRule):
+    """``f(·,·) = p`` — the consistent random overlay (SCAMP/CYCLON-like
+    degree profile, but verifiable).  Usable as either sliver rule; using
+    it for both gives the Fig 10 baseline graph."""
+
+    def __init__(self, probability: float):
+        self.probability = check_probability(probability, "random probability")
+
+    @classmethod
+    def matching_expected_degree(cls, degree: float, n_star: float) -> "RandomUniformRule":
+        """The ``p`` giving an expected ``degree`` neighbors among ``N*``
+        candidates — used to degree-match the baseline to AVMEM."""
+        check_positive(degree, "degree")
+        check_positive(n_star, "n_star")
+        return cls(min(1.0, degree / n_star))
+
+    def threshold(self, av_x: float, av_y: float, pdf: AvailabilityPdf) -> float:
+        return self.probability
+
+    def threshold_many(self, av_x, av_ys, pdf):
+        return np.full(len(av_ys), self.probability)
+
+    def __repr__(self) -> str:
+        return f"RandomUniformRule(p={self.probability:.4g})"

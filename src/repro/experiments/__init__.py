@@ -1,0 +1,19 @@
+"""Experiment harness: scales, snapshots, reports, per-figure drivers."""
+
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.harness import SCALES, ExperimentScale, build_simulation, get_scale
+from repro.experiments.report import FigureResult, format_cdf_summary, format_table
+from repro.experiments.snapshot import OverlaySnapshot, take_snapshot
+
+__all__ = [
+    "ALL_FIGURES",
+    "SCALES",
+    "ExperimentScale",
+    "build_simulation",
+    "get_scale",
+    "FigureResult",
+    "format_table",
+    "format_cdf_summary",
+    "OverlaySnapshot",
+    "take_snapshot",
+]

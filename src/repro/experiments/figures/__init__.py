@@ -1,0 +1,41 @@
+"""One driver per evaluation figure (Figs 2-13).
+
+Each module exposes ``run(scale="full", seed=0) -> FigureResult``.
+:data:`ALL_FIGURES` maps figure ids to their runners for the CLI and the
+benchmark suite.
+"""
+
+from typing import Callable, Dict
+
+from repro.experiments.figures import (
+    fig02,
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+)
+from repro.experiments.report import FigureResult
+
+ALL_FIGURES: Dict[str, Callable[..., FigureResult]] = {
+    "fig2": fig02.run,
+    "fig3": fig03.run,
+    "fig4": fig04.run,
+    "fig5": fig05.run,
+    "fig6": fig06.run,
+    "fig7": fig07.run,
+    "fig8": fig08.run,
+    "fig9": fig09.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+}
+
+__all__ = ["ALL_FIGURES"]

@@ -1,0 +1,74 @@
+"""Shared anycast experiment machinery for Figs 7-10."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.harness import ExperimentScale
+from repro.ops.results import AnycastRecord, AnycastStatus
+from repro.simulation import AvmemSimulation
+
+__all__ = ["AnycastVariant", "run_variant", "status_fractions", "PAPER_VARIANTS"]
+
+
+class AnycastVariant:
+    """(policy, selector) pair with the paper's display name."""
+
+    def __init__(self, label: str, policy: str, selector: str):
+        self.label = label
+        self.policy = policy
+        self.selector = selector
+
+
+#: The four variants Figs 7-8 plot.
+PAPER_VARIANTS: Tuple[AnycastVariant, ...] = (
+    AnycastVariant("VS-only", "greedy", "vs"),
+    AnycastVariant("HS+VS", "greedy", "hs+vs"),
+    AnycastVariant("HS-only", "greedy", "hs"),
+    AnycastVariant("sim-annealing", "anneal", "hs+vs"),
+)
+
+
+def run_variant(
+    simulation: AvmemSimulation,
+    tier: ExperimentScale,
+    variant: AnycastVariant,
+    initiator_band: str,
+    target: Tuple[float, float],
+    retry: Optional[int] = None,
+) -> List[AnycastRecord]:
+    """``runs × messages`` anycasts of one variant (fresh initiators)."""
+    records: List[AnycastRecord] = []
+    for __ in range(tier.runs):
+        records.extend(
+            simulation.run_anycast_batch(
+                tier.messages_per_run,
+                target,
+                initiator_band,
+                policy=variant.policy,
+                selector=variant.selector,
+                retry=retry,
+            )
+        )
+    return records
+
+
+def status_fractions(records: List[AnycastRecord]) -> Dict[str, float]:
+    """Fraction of records per terminal status (Fig 9's bar groups)."""
+    if not records:
+        return {}
+    counts = Counter(record.status for record in records)
+    return {status: counts.get(status, 0) / len(records) for status in AnycastStatus.TERMINAL}
+
+
+def mean_delivered_latency_ms(records: List[AnycastRecord]) -> float:
+    latencies = [r.latency for r in records if r.delivered and r.latency is not None]
+    if not latencies:
+        return float("nan")
+    return float(1000.0 * np.mean(latencies))
+
+
+__all__.append("mean_delivered_latency_ms")

@@ -1,0 +1,64 @@
+"""Shared multicast scenario machinery for Figs 11-13.
+
+The three figures plot different metrics (worst-case latency, spam
+ratio, reliability) of the *same five scenarios*:
+
+* flooding: HIGH → [0.85, 0.95], HIGH → av > 0.90, LOW → av > 0.20
+* gossip (fanout 5, Ng 2, 1 s period): HIGH → av > 0.90, LOW → av > 0.20
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+from repro.experiments.harness import ExperimentScale
+from repro.ops.results import MulticastRecord
+from repro.ops.spec import InitiatorBand, TargetSpec
+from repro.simulation import AvmemSimulation
+
+__all__ = ["MulticastScenario", "PAPER_SCENARIOS", "run_scenario"]
+
+TargetLike = Union[Tuple[float, float], float]
+
+
+class MulticastScenario:
+    """One (mode, initiator band, target) cell of Figs 11-13."""
+
+    def __init__(self, label: str, mode: str, band: str, target: TargetLike):
+        self.label = label
+        self.mode = mode
+        self.band = band
+        self.target = target
+
+    def spec(self) -> TargetSpec:
+        if isinstance(self.target, tuple):
+            return TargetSpec.range(*self.target)
+        return TargetSpec.threshold(self.target)
+
+
+PAPER_SCENARIOS: Tuple[MulticastScenario, ...] = (
+    MulticastScenario("HIGH to [0.85,0.95]", "flood", InitiatorBand.HIGH, (0.85, 0.95)),
+    MulticastScenario("HIGH to >0.90", "flood", InitiatorBand.HIGH, 0.90),
+    MulticastScenario("LOW to >0.20", "flood", InitiatorBand.LOW, 0.20),
+    MulticastScenario("Gossip, HIGH to >0.90", "gossip", InitiatorBand.HIGH, 0.90),
+    MulticastScenario("Gossip, LOW to >0.20", "gossip", InitiatorBand.LOW, 0.20),
+)
+
+
+def run_scenario(
+    simulation: AvmemSimulation,
+    tier: ExperimentScale,
+    scenario: MulticastScenario,
+) -> List[MulticastRecord]:
+    """``runs × messages`` multicasts of one scenario."""
+    records: List[MulticastRecord] = []
+    for __ in range(tier.runs):
+        records.extend(
+            simulation.run_multicast_batch(
+                tier.messages_per_run,
+                scenario.spec(),
+                scenario.band,
+                mode=scenario.mode,
+            )
+        )
+    return records

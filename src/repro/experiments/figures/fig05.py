@@ -1,0 +1,47 @@
+"""Figure 5 — flooding attack.
+
+Fraction of peers that are *not* currently neighbors of a selfish node
+but would accept its messages anyway (stale caches + monitoring noise),
+averaged across 0.1-wide availability bands of the attacker, for
+cushion ∈ {0, 0.1}.  The paper's headline: below 10 % regardless of the
+attacker's availability (cushion = 0).
+"""
+
+from __future__ import annotations
+
+from repro.attacks.flooding import flooding_attack_experiment
+from repro.experiments.harness import build_simulation, get_scale
+from repro.experiments.report import FigureResult
+
+__all__ = ["run"]
+
+CUSHIONS = (0.0, 0.1)
+
+
+def run(scale: str = "full", seed: int = 0) -> FigureResult:
+    """Regenerate Fig 5: per-band flooding-attack acceptance for both cushions."""
+    tier = get_scale(scale)
+    simulation = build_simulation(scale=scale, seed=seed)
+    result = FigureResult(
+        figure_id="fig5",
+        title="Flooding attack: non-neighbors accepting a selfish node's messages",
+        headers=["cushion", "band", "accept_rate"],
+    )
+    for cushion in CUSHIONS:
+        rates = flooding_attack_experiment(
+            simulation.nodes,
+            simulation.predicate,
+            simulation.true_availability,
+            cushion=cushion,
+            max_targets=tier.attack_max_targets,
+            rng=simulation._router.get(f"fig5:{cushion}"),
+        )
+        for band, rate in rates.rows():
+            result.add_row(cushion, f"[{band:.1f},{band + 0.1:.1f})", rate)
+        result.series[f"cushion={cushion}"] = list(rates.sender_rates.values())
+        result.add_note(
+            f"cushion={cushion}: overall accept rate {rates.overall:.3f}, "
+            f"worst band {rates.max_band_rate:.3f} "
+            f"(paper, cushion=0: < 0.10 in every band)"
+        )
+    return result

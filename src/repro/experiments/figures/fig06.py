@@ -1,0 +1,50 @@
+"""Figure 6 — legitimate rejection rate.
+
+Fraction of *valid* AVMEM in-neighbor relationships that the recipient
+rejects because its availability view is stale or inconsistent, per
+attacker-availability band, for cushion ∈ {0, 0.1}.  Paper: below 30 %
+with no cushion, below 20 % with cushion 0.1 (≈ 1.25 expected tries to
+get a message through).
+"""
+
+from __future__ import annotations
+
+from repro.attacks.flooding import legitimate_rejection_experiment
+from repro.experiments.harness import build_simulation, get_scale
+from repro.experiments.report import FigureResult
+
+__all__ = ["run"]
+
+CUSHIONS = (0.0, 0.1)
+
+
+def run(scale: str = "full", seed: int = 0, monitor_noise_std: float = 0.05) -> FigureResult:
+    """Regenerate Fig 6: per-band legitimate-rejection rates for both cushions."""
+    get_scale(scale)
+    # More monitoring noise than the library default: this experiment
+    # exists to exhibit estimate inconsistency (the paper's AVMON answers
+    # are noisier than our default oracle).
+    simulation = build_simulation(
+        scale=scale, seed=seed, monitor_noise_std=monitor_noise_std
+    )
+    result = FigureResult(
+        figure_id="fig6",
+        title="Legitimate rejection rate for valid in-neighbor messages",
+        headers=["cushion", "band", "reject_rate"],
+    )
+    for cushion in CUSHIONS:
+        rates = legitimate_rejection_experiment(
+            simulation.nodes,
+            simulation.predicate,
+            simulation.true_availability,
+            cushion=cushion,
+        )
+        for band, rate in rates.rows():
+            result.add_row(cushion, f"[{band:.1f},{band + 0.1:.1f})", rate)
+        result.series[f"cushion={cushion}"] = list(rates.sender_rates.values())
+        result.add_note(
+            f"cushion={cushion}: overall reject rate {rates.overall:.3f}, "
+            f"worst band {rates.max_band_rate:.3f} "
+            f"(paper: < 0.30 at cushion=0, < 0.20 at cushion=0.1)"
+        )
+    return result

@@ -1,0 +1,48 @@
+"""Figure 7 — range anycast hop distribution.
+
+Anycasts from MID-availability initiators to range [0.85, 0.95], TTL 6,
+comparing greedy VS-only / HS+VS / HS-only and simulated annealing.
+Paper: 100 % success for all variants; all but HS-only deliver w.h.p.
+within 1 hop (HS-only must crawl across availability space).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.experiments.figures._anycast_common import PAPER_VARIANTS, run_variant
+from repro.experiments.harness import build_simulation, get_scale
+from repro.experiments.report import FigureResult
+from repro.ops.spec import InitiatorBand
+
+__all__ = ["run"]
+
+TARGET = (0.85, 0.95)
+
+
+def run(scale: str = "full", seed: int = 0) -> FigureResult:
+    """Regenerate Fig 7: per-variant delivery and cumulative hop fractions."""
+    tier = get_scale(scale)
+    simulation = build_simulation(scale=scale, seed=seed)
+    result = FigureResult(
+        figure_id="fig7",
+        title=f"Range anycast hops, MID -> {TARGET}",
+        headers=["variant", "delivered", "of", "hops=1", "hops<=2", "hops<=6"],
+    )
+    for variant in PAPER_VARIANTS:
+        records = run_variant(simulation, tier, variant, InitiatorBand.MID, TARGET)
+        delivered = [r for r in records if r.delivered]
+        hops = Counter(r.hops for r in delivered)
+        n = len(delivered)
+        def cum(limit: int) -> float:
+            if n == 0:
+                return float("nan")
+            return sum(count for h, count in hops.items() if h <= limit) / n
+        result.add_row(
+            variant.label, len(delivered), len(records), cum(1), cum(2), cum(6)
+        )
+        result.series[variant.label] = [float(r.hops) for r in delivered]
+    result.add_note(
+        "paper: all variants 100% success; all but HS-only within 1 hop w.h.p."
+    )
+    return result

@@ -1,0 +1,43 @@
+"""Figure 11 — multicast latency CDF.
+
+Worst-case (last-receiver) delivery latency per multicast, for the five
+paper scenarios.  Paper: flooding completes below ~300 ms; gossip
+(fanout 5, Ng 2, 1 s period) below ~5.5 s.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures._multicast_common import PAPER_SCENARIOS, run_scenario
+from repro.experiments.harness import build_simulation, get_scale
+from repro.experiments.report import FigureResult
+from repro.util.mathx import quantile
+
+__all__ = ["run"]
+
+
+def run(scale: str = "full", seed: int = 0) -> FigureResult:
+    """Regenerate Fig 11: worst-case delivery latency quantiles per scenario."""
+    tier = get_scale(scale)
+    simulation = build_simulation(scale=scale, seed=seed)
+    result = FigureResult(
+        figure_id="fig11",
+        title="Multicast worst-case latency (last delivery) CDF",
+        headers=["scenario", "multicasts", "p50_ms", "p90_ms", "max_ms"],
+    )
+    for scenario in PAPER_SCENARIOS:
+        records = run_scenario(simulation, tier, scenario)
+        latencies = [
+            1000.0 * record.worst_latency()
+            for record in records
+            if record.worst_latency() is not None
+        ]
+        result.series[scenario.label] = latencies
+        result.add_row(
+            scenario.label,
+            len(records),
+            quantile(latencies, 0.5),
+            quantile(latencies, 0.9),
+            max(latencies) if latencies else float("nan"),
+        )
+    result.add_note("paper: flooding < ~300 ms, gossip < ~5.5 s")
+    return result

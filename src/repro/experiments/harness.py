@@ -1,0 +1,111 @@
+"""Shared experiment scaffolding.
+
+Every figure driver accepts a ``scale`` — ``"full"`` reproduces the
+paper's setup (1442 hosts, 7-day trace, 24 h warm-up, 5 runs × 50
+messages); ``"small"`` is a fast configuration for smoke tests and CI.
+:func:`build_simulation` centralizes the mapping so figures stay
+declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.config import AvmemConfig
+from repro.simulation import AvmemSimulation, SimulationSettings
+
+__all__ = ["ExperimentScale", "SCALES", "build_simulation"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Size/effort knobs for one experiment tier."""
+
+    name: str
+    hosts: int
+    epochs: int
+    warmup: float
+    settle: float
+    runs: int
+    messages_per_run: int
+    attack_max_targets: int
+
+    @property
+    def total_messages(self) -> int:
+        return self.runs * self.messages_per_run
+
+
+SCALES: Dict[str, ExperimentScale] = {
+    # The paper's setup: 1442 hosts / 7 days / 24 h warm-up / 5 x 50 msgs.
+    # Warm-ups sit mid-epoch (boundary + 600 s) so measurements do not
+    # coincide with the instant a cohort of trace sessions flips state.
+    "full": ExperimentScale(
+        name="full",
+        hosts=1442,
+        epochs=504,
+        warmup=87000.0,
+        settle=7200.0,
+        runs=5,
+        messages_per_run=50,
+        attack_max_targets=200,
+    ),
+    # Mid-size: same shape, ~4x cheaper (benchmark default).
+    "medium": ExperimentScale(
+        name="medium",
+        hosts=700,
+        epochs=240,
+        warmup=43800.0,
+        settle=4800.0,
+        runs=3,
+        messages_per_run=25,
+        attack_max_targets=120,
+    ),
+    # Smoke-test size.
+    "small": ExperimentScale(
+        name="small",
+        hosts=220,
+        epochs=96,
+        warmup=24600.0,
+        settle=2400.0,
+        runs=2,
+        messages_per_run=8,
+        attack_max_targets=60,
+    ),
+}
+
+
+def get_scale(scale: str) -> ExperimentScale:
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise ValueError(f"unknown scale {scale!r}; pick from {sorted(SCALES)}") from None
+
+
+def build_simulation(
+    scale: str = "full",
+    seed: int = 0,
+    predicate_kind: str = "paper",
+    config: Optional[AvmemConfig] = None,
+    monitor_noise_std: float = 0.02,
+    setup: bool = True,
+    **settings_overrides,
+) -> AvmemSimulation:
+    """Construct (and by default warm up) a simulation for one experiment."""
+    tier = get_scale(scale)
+    settings = SimulationSettings(
+        hosts=tier.hosts,
+        epochs=tier.epochs,
+        seed=seed,
+        config=config if config is not None else AvmemConfig(),
+        predicate_kind=predicate_kind,
+        monitor_noise_std=monitor_noise_std,
+        **settings_overrides,
+    )
+    simulation = AvmemSimulation(settings)
+    if setup:
+        simulation.setup(warmup=tier.warmup, settle=tier.settle)
+    return simulation
+
+
+__all__.append("get_scale")

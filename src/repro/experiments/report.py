@@ -1,0 +1,87 @@
+"""Plain-text rendering of experiment results.
+
+Benches and the CLI print the same rows/series the paper's figures plot,
+so a reproduction run can be compared against the paper by eye (and
+EXPERIMENTS.md records the comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["FigureResult", "format_table", "format_cdf_summary"]
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Fixed-width text table."""
+    cells = [[_format_value(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt_row(row):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+    lines = [fmt_row(headers), fmt_row(["-" * w for w in widths])]
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def format_cdf_summary(
+    samples: Sequence[float], levels: Sequence[float] = (0.5, 0.9, 1.0)
+) -> str:
+    """Compact 'p50=…, p90=…, max=…' summary of a sample set."""
+    from repro.util.mathx import quantile
+
+    if not samples:
+        return "no samples"
+    parts = []
+    for level in levels:
+        label = "max" if level == 1.0 else f"p{int(level * 100)}"
+        parts.append(f"{label}={quantile(samples, level):.4g}")
+    return ", ".join(parts)
+
+
+@dataclass
+class FigureResult:
+    """A reproduced figure: identity, data rows, and free-form notes."""
+
+    figure_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    #: named sample sets backing CDFs/scatters, for tests and plotting
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.headers)} headers"
+            )
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """The figure as printable text."""
+        out = [f"== {self.figure_id}: {self.title} =="]
+        if self.rows:
+            out.append(format_table(self.headers, self.rows))
+        for note in self.notes:
+            out.append(f"  note: {note}")
+        return "\n".join(out)
+
+    def row_dicts(self) -> List[Dict[str, object]]:
+        return [dict(zip(self.headers, row)) for row in self.rows]

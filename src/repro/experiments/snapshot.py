@@ -1,0 +1,124 @@
+"""Overlay snapshot analytics — the microbenchmark figures (Figs 2-4).
+
+A snapshot captures, for every *online* node at the current sim time:
+its measured availability, its sliver sizes (total entries and
+currently-online entries — the theory of Section 2.2 predicts the online
+counts), the number of online candidates within ±ε (Fig 3's x-axis), and
+the number of incoming vertical-sliver references (Fig 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.ids import NodeId
+from repro.core.predicates import SliverKind
+from repro.simulation import AvmemSimulation
+
+__all__ = ["OverlaySnapshot", "take_snapshot"]
+
+
+@dataclass
+class OverlaySnapshot:
+    """Per-node overlay measurements at one instant."""
+
+    time: float
+    #: snapshot population (online nodes), fixed order
+    nodes: List[NodeId] = field(default_factory=list)
+    availability: Dict[NodeId, float] = field(default_factory=dict)
+    hs_size: Dict[NodeId, int] = field(default_factory=dict)
+    vs_size: Dict[NodeId, int] = field(default_factory=dict)
+    hs_online: Dict[NodeId, int] = field(default_factory=dict)
+    vs_online: Dict[NodeId, int] = field(default_factory=dict)
+    #: online nodes within ±ε availability of the node (Fig 3 x-axis)
+    hs_candidates: Dict[NodeId, int] = field(default_factory=dict)
+    #: incoming VS references from other online nodes (Fig 4)
+    incoming_vs: Dict[NodeId, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def online_count(self) -> int:
+        return len(self.nodes)
+
+    def availability_histogram(self, bins: int = 10) -> Tuple[np.ndarray, np.ndarray]:
+        """Fig 2(a): counts of online nodes per availability bin."""
+        values = np.array([self.availability[n] for n in self.nodes])
+        return np.histogram(values, bins=bins, range=(0.0, 1.0))
+
+    def _per_band(self, per_node: Dict[NodeId, int], width: float = 0.1) -> Dict[float, float]:
+        """Mean of a per-node quantity per availability band."""
+        sums: Dict[float, List[float]] = {}
+        for node in self.nodes:
+            band = min(int(self.availability[node] / width), int(1.0 / width) - 1) * width
+            sums.setdefault(round(band, 10), []).append(per_node[node])
+        return {band: float(np.mean(vals)) for band, vals in sorted(sums.items())}
+
+    def hs_by_band(self, online_only: bool = True) -> Dict[float, float]:
+        """Fig 2(b): mean HS size per availability band."""
+        return self._per_band(self.hs_online if online_only else self.hs_size)
+
+    def vs_by_band(self, online_only: bool = True) -> Dict[float, float]:
+        """Fig 2(c): mean VS size per availability band."""
+        return self._per_band(self.vs_online if online_only else self.vs_size)
+
+    def incoming_vs_by_band(self) -> Dict[float, float]:
+        """Fig 4: mean incoming-VS references per availability band."""
+        return self._per_band(self.incoming_vs)
+
+    def hs_scaling_points(self) -> List[Tuple[int, int]]:
+        """Fig 3: (candidates within ±ε, HS size) per node."""
+        return [(self.hs_candidates[n], self.hs_online[n]) for n in self.nodes]
+
+    def hs_scaling_exponent(self) -> float:
+        """Log-log slope of HS size vs candidate count (< 1 ⇒ sublinear).
+
+        Points with zero coordinates are shifted by 1 to keep logs finite.
+        """
+        points = self.hs_scaling_points()
+        xs = np.log(np.array([p[0] for p in points], dtype=float) + 1.0)
+        ys = np.log(np.array([p[1] for p in points], dtype=float) + 1.0)
+        if xs.size < 2 or float(np.var(xs)) == 0.0:
+            return float("nan")
+        slope = float(np.cov(xs, ys, bias=True)[0, 1] / np.var(xs))
+        return slope
+
+
+def take_snapshot(simulation: AvmemSimulation) -> OverlaySnapshot:
+    """Measure the overlay over the currently online population."""
+    now = simulation.sim.now
+    online_ids = simulation.online_ids()
+    online_set = set(online_ids)
+    epsilon = simulation.predicate.epsilon
+    snapshot = OverlaySnapshot(time=now, nodes=list(online_ids))
+    availability = {
+        node: simulation.true_availability(node) for node in online_ids
+    }
+    snapshot.availability = availability
+    values = np.array([availability[n] for n in online_ids])
+    for node_id in online_ids:
+        node = simulation.nodes[node_id]
+        lists = node.lists
+        snapshot.hs_size[node_id] = lists.horizontal_count
+        snapshot.vs_size[node_id] = lists.vertical_count
+        snapshot.hs_online[node_id] = sum(
+            1 for e in lists.horizontal if e.node in online_set
+        )
+        snapshot.vs_online[node_id] = sum(
+            1 for e in lists.vertical if e.node in online_set
+        )
+        av = availability[node_id]
+        snapshot.hs_candidates[node_id] = int(
+            np.sum(np.abs(values - av) < epsilon) - 1  # exclude self
+        )
+    incoming: Dict[NodeId, int] = {node: 0 for node in online_ids}
+    for node_id in online_ids:
+        for entry in simulation.nodes[node_id].lists.vertical:
+            if entry.node in online_set:
+                incoming[entry.node] += 1
+    snapshot.incoming_vs = incoming
+    return snapshot

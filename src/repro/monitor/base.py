@@ -1,0 +1,46 @@
+"""Availability-monitoring service interface (black-box dependency #1).
+
+Section 3.1: "An availability monitoring service is defined as one that
+can be queried for the long-term availability (e.g., raw, or aged) of
+any given node.  It returns an answer that is reasonably accurate, and
+that is reasonably consistent over time."
+
+Implementations here: :class:`~repro.monitor.oracle.OracleAvailability`
+(trace ground truth, optionally degraded) and
+:class:`~repro.monitor.avmon.AvmonService` (the full AVMON protocol).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.core.ids import NodeId
+
+__all__ = ["AvailabilityService", "CoarseViewProvider"]
+
+
+@runtime_checkable
+class AvailabilityService(Protocol):
+    """Query interface for long-term node availability."""
+
+    def query(self, node: NodeId) -> float:
+        """Current availability estimate for ``node``, in [0, 1].
+
+        Must never raise for known nodes; unknown nodes raise KeyError.
+        """
+        ...
+
+
+@runtime_checkable
+class CoarseViewProvider(Protocol):
+    """Shuffled partial-membership service (black-box dependency #2).
+
+    "A decentralized shuffling membership service has a node maintain a
+    random list of some of the nodes in the system … continuously changed
+    by the underlying shuffling protocol" (Section 3.1).
+    """
+
+    def view(self, node: NodeId) -> tuple:
+        """The current (weakly consistent, possibly stale) partial view
+        of ``node``: a tuple of NodeIds."""
+        ...

@@ -1,0 +1,94 @@
+"""Staleness-aware availability caches.
+
+Section 3.2: "when node x is considering potential next-hops for an
+anycast, it uses cached values of availabilities for its neighbors.
+Typically, these cached values were fetched the last time the refresh
+operation was done" — and Section 4.1 measures how that staleness both
+enables flooding attacks and causes legitimate rejections.
+
+:class:`CachedAvailabilityView` wraps an
+:class:`~repro.monitor.base.AvailabilityService` with an explicit
+fetch/read split so protocol code can only read what it has fetched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.core.ids import NodeId
+from repro.monitor.base import AvailabilityService
+from repro.sim.engine import Simulator
+
+__all__ = ["CacheEntry", "CachedAvailabilityView"]
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """A cached availability value and when it was fetched."""
+
+    value: float
+    fetched_at: float
+
+    def age(self, now: float) -> float:
+        return now - self.fetched_at
+
+
+class CachedAvailabilityView:
+    """One node's cached view of other nodes' availabilities."""
+
+    def __init__(self, service: AvailabilityService, sim: Simulator):
+        self._service = service
+        self._sim = sim
+        self._entries: Dict[NodeId, CacheEntry] = {}
+        self.fetch_count = 0
+        self.hit_count = 0
+
+    # ------------------------------------------------------------------
+    # Fetching (talks to the monitoring service)
+    # ------------------------------------------------------------------
+    def fetch(self, node: NodeId) -> float:
+        """Query the service now and cache the answer."""
+        value = self._service.query(node)
+        self._entries[node] = CacheEntry(value=value, fetched_at=self._sim.now)
+        self.fetch_count += 1
+        return value
+
+    def fetch_many(self, nodes: Iterable[NodeId]) -> None:
+        for node in nodes:
+            self.fetch(node)
+
+    # ------------------------------------------------------------------
+    # Reading (never talks to the service)
+    # ------------------------------------------------------------------
+    def get(self, node: NodeId) -> Optional[float]:
+        """The cached value, or None if never fetched."""
+        entry = self._entries.get(node)
+        if entry is None:
+            return None
+        self.hit_count += 1
+        return entry.value
+
+    def get_or_fetch(self, node: NodeId) -> float:
+        """Cached value if present, else fetch (for non-hot-path callers)."""
+        cached = self.get(node)
+        if cached is not None:
+            return cached
+        return self.fetch(node)
+
+    def entry(self, node: NodeId) -> Optional[CacheEntry]:
+        return self._entries.get(node)
+
+    def staleness(self, node: NodeId) -> Optional[float]:
+        """Seconds since the value for ``node`` was fetched, or None."""
+        entry = self._entries.get(node)
+        return None if entry is None else entry.age(self._sim.now)
+
+    def evict(self, node: NodeId) -> None:
+        self._entries.pop(node, None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._entries

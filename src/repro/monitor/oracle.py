@@ -1,0 +1,106 @@
+"""Oracle availability service: trace ground truth, optionally degraded.
+
+The paper treats availability monitoring as a black box whose accuracy
+and consistency bound AVMEM's behaviour.  The oracle reads fraction
+uptime straight from the churn trace (raw from trace start, or over a
+trailing window for "aged" availability) and can degrade its answers
+with Gaussian noise and/or quantization — the knobs the Figs 5-6
+staleness/inaccuracy experiments turn.
+
+Noise is *deterministic per (node, time-bucket)* rather than per call:
+a real monitoring service gives (roughly) the same wrong answer to
+everyone who asks at about the same time, and that consistency matters
+for verification experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.churn.trace import ChurnTrace
+from repro.core.ids import NodeId
+from repro.sim.engine import Simulator
+from repro.util.randomness import derive_seed
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["OracleAvailability"]
+
+
+class OracleAvailability:
+    """Availability estimates computed from the churn trace.
+
+    Parameters
+    ----------
+    trace, sim:
+        The ground truth and the clock.
+    window:
+        None → raw availability over ``[0, now]``; otherwise fraction
+        uptime over the trailing ``window`` seconds.
+    noise_std:
+        Standard deviation of additive Gaussian error (0 = exact).
+    quantization:
+        Round estimates to this granularity (e.g. 0.01); 0 disables.
+    noise_bucket:
+        Time bucketing for deterministic noise, seconds.  Within one
+        bucket every query for a node gets the same perturbation.
+    min_observation:
+        Before this much trace time has elapsed, estimates are unstable;
+        the oracle still answers (with whatever it has), matching a
+        freshly deployed monitoring service.
+    """
+
+    def __init__(
+        self,
+        trace: ChurnTrace,
+        sim: Simulator,
+        window: Optional[float] = None,
+        noise_std: float = 0.0,
+        quantization: float = 0.0,
+        noise_bucket: float = 1200.0,
+        seed: int = 0,
+    ):
+        self.trace = trace
+        self.sim = sim
+        self.window = None if window is None else check_positive(window, "window")
+        self.noise_std = check_non_negative(noise_std, "noise_std")
+        self.quantization = check_non_negative(quantization, "quantization")
+        self.noise_bucket = check_positive(noise_bucket, "noise_bucket")
+        self._seed = int(seed)
+        self._noise_cache: dict = {}
+
+    def query(self, node: NodeId) -> float:
+        """Current (possibly noisy/quantized) availability of ``node``."""
+        if node not in self.trace:
+            raise KeyError(f"unknown node {node!r}")
+        now = self.sim.now
+        if self.window is None:
+            value = self.trace.availability(node, now)
+        else:
+            value = self.trace.windowed_availability(node, now, self.window)
+        if self.noise_std > 0.0:
+            value += self._noise(node, now)
+        if self.quantization > 0.0:
+            value = round(value / self.quantization) * self.quantization
+        return float(min(1.0, max(0.0, value)))
+
+    def true_availability(self, node: NodeId) -> float:
+        """Undegraded availability (for experiment ground truth)."""
+        if self.window is None:
+            return self.trace.availability(node, self.sim.now)
+        return self.trace.windowed_availability(node, self.sim.now, self.window)
+
+    def _noise(self, node: NodeId, now: float) -> float:
+        bucket = int(now / self.noise_bucket)
+        key = (node, bucket)
+        cached = self._noise_cache.get(key)
+        if cached is None:
+            rng = np.random.default_rng(
+                derive_seed(self._seed, f"oracle-noise:{node.endpoint}:{bucket}")
+            )
+            cached = float(rng.normal(0.0, self.noise_std))
+            if len(self._noise_cache) > 200_000:
+                self._noise_cache.clear()
+            self._noise_cache[key] = cached
+        return cached

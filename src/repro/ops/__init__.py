@@ -1,0 +1,34 @@
+"""Management operations: {threshold, range} × {anycast, multicast}."""
+
+from repro.ops.anycast import (
+    POLICY_NAMES,
+    AnnealingPolicy,
+    ForwardingPolicy,
+    GreedyPolicy,
+    RetriedGreedyPolicy,
+    make_policy,
+)
+from repro.ops.engine import OperationEngine
+from repro.ops.messages import AnycastAck, AnycastMessage, MulticastMessage
+from repro.ops.results import AnycastRecord, AnycastStatus, MulticastRecord
+from repro.ops.spec import PAPER_RANGES, PAPER_THRESHOLDS, InitiatorBand, TargetSpec
+
+__all__ = [
+    "TargetSpec",
+    "InitiatorBand",
+    "PAPER_RANGES",
+    "PAPER_THRESHOLDS",
+    "ForwardingPolicy",
+    "GreedyPolicy",
+    "RetriedGreedyPolicy",
+    "AnnealingPolicy",
+    "make_policy",
+    "POLICY_NAMES",
+    "AnycastMessage",
+    "AnycastAck",
+    "MulticastMessage",
+    "AnycastRecord",
+    "AnycastStatus",
+    "MulticastRecord",
+    "OperationEngine",
+]

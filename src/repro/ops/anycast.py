@@ -1,0 +1,160 @@
+"""Anycast forwarding policies (Section 3.2).
+
+Three policies, each usable with HS-only, VS-only, or HS+VS neighbor
+sets (nine algorithm variants total):
+
+* **Greedy** — forward to a neighbor inside the target range; if none,
+  to the neighbor whose (cached) availability is closest to the range.
+* **Retried greedy** — greedy candidate order, but transmissions are
+  acknowledged; on timeout the previous hop decrements the ``retry``
+  budget and tries its next-best neighbor.  (The retry machinery lives
+  in :mod:`repro.ops.engine`; the policy contributes the ordering.)
+* **Simulated annealing** — with probability ``p = e^(−Δ/ttl)`` pick a
+  uniformly random neighbor instead of the greedy one, where Δ is the
+  distance from the greedy candidate to the range edge and ttl the
+  remaining hop budget.  Early hops explore; late hops exploit.
+
+All decisions use **cached** neighbor availabilities (the entries'
+``availability`` fields) — Section 3.2 is explicit that forwarding does
+not re-query the monitoring service.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import List, Sequence, Set
+
+import numpy as np
+
+from repro.core.ids import NodeId
+from repro.core.membership import MemberEntry
+from repro.ops.spec import TargetSpec
+
+__all__ = [
+    "ForwardingPolicy",
+    "GreedyPolicy",
+    "RetriedGreedyPolicy",
+    "AnnealingPolicy",
+    "make_policy",
+    "POLICY_NAMES",
+]
+
+
+class ForwardingPolicy(abc.ABC):
+    """Produces an ordered candidate list (best first) for one hop."""
+
+    #: registry name
+    name: str = "abstract"
+
+    #: whether the engine should run ack/timeout retries for this policy
+    wants_ack: bool = False
+
+    @abc.abstractmethod
+    def order_candidates(
+        self,
+        entries: Sequence[MemberEntry],
+        target: TargetSpec,
+        ttl_remaining: int,
+        rng: np.random.Generator,
+        exclude: Set[NodeId],
+    ) -> List[NodeId]:
+        """Candidate next-hops, best first; excluded nodes are omitted."""
+
+
+def _greedy_order(
+    entries: Sequence[MemberEntry],
+    target: TargetSpec,
+    rng: np.random.Generator,
+    exclude: Set[NodeId],
+) -> List[NodeId]:
+    """In-range candidates first (shuffled), then by distance to the range."""
+    in_range: List[NodeId] = []
+    outside: List[tuple] = []
+    for entry in entries:
+        if entry.node in exclude:
+            continue
+        distance = target.distance(entry.availability)
+        if distance == 0.0:
+            in_range.append(entry.node)
+        else:
+            outside.append((distance, entry.node))
+    rng.shuffle(in_range)
+    # Random tiebreak for equal distances, then sort by distance.
+    keyed = [(d, float(rng.random()), node) for d, node in outside]
+    keyed.sort(key=lambda item: (item[0], item[1]))
+    return in_range + [node for _, _, node in keyed]
+
+
+class GreedyPolicy(ForwardingPolicy):
+    """Plain greedy forwarding — single shot, no acknowledgements."""
+
+    name = "greedy"
+    wants_ack = False
+
+    def order_candidates(self, entries, target, ttl_remaining, rng, exclude):
+        return _greedy_order(entries, target, rng, exclude)
+
+
+class RetriedGreedyPolicy(ForwardingPolicy):
+    """Greedy ordering with ack/timeout retries down the candidate list."""
+
+    name = "retry-greedy"
+    wants_ack = True
+
+    def order_candidates(self, entries, target, ttl_remaining, rng, exclude):
+        return _greedy_order(entries, target, rng, exclude)
+
+
+class AnnealingPolicy(ForwardingPolicy):
+    """Simulated annealing (Section 3.2).
+
+    "The probability of choosing a random next-hop is high initially …
+    but decreases as the anycast proceeds": a neighbor that (per its
+    cached availability) already lies inside the range is always chosen
+    — every variant delivers when it can.  Otherwise, with probability
+    ``p = e^(−Δ/ttl)`` — Δ being the greedy candidate's distance to the
+    range edge and ttl the remaining hop budget — a uniformly random
+    neighbor is explored instead of the greedy one.  Large remaining TTL
+    ⇒ p close to 1 ⇒ exploration; as TTL burns down, p falls and the
+    walk turns greedy.
+    """
+
+    name = "anneal"
+    wants_ack = False
+
+    def acceptance_probability(self, delta: float, ttl_remaining: int) -> float:
+        """``p = e^(−Δ/ttl)``."""
+        if ttl_remaining <= 0:
+            return 0.0
+        return math.exp(-delta / ttl_remaining)
+
+    def order_candidates(self, entries, target, ttl_remaining, rng, exclude):
+        ordered = _greedy_order(entries, target, rng, exclude)
+        if len(ordered) < 2:
+            return ordered
+        by_node = {e.node: e for e in entries}
+        delta = target.distance(by_node[ordered[0]].availability)
+        if delta == 0.0:
+            return ordered  # greedy best already in range: deliver
+        if rng.random() < self.acceptance_probability(delta, ttl_remaining):
+            pick = 1 + int(rng.integers(len(ordered) - 1))
+            ordered[0], ordered[pick] = ordered[pick], ordered[0]
+        return ordered
+
+
+_POLICIES = {
+    GreedyPolicy.name: GreedyPolicy,
+    RetriedGreedyPolicy.name: RetriedGreedyPolicy,
+    AnnealingPolicy.name: AnnealingPolicy,
+}
+
+POLICY_NAMES = tuple(sorted(_POLICIES))
+
+
+def make_policy(name: str) -> ForwardingPolicy:
+    """Instantiate a forwarding policy by registry name."""
+    cls = _POLICIES.get(name)
+    if cls is None:
+        raise ValueError(f"unknown policy {name!r}; pick from {POLICY_NAMES}")
+    return cls()

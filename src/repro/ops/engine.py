@@ -1,0 +1,446 @@
+"""The management-operation engine: executes {threshold, range} ×
+{anycast, multicast} over an AVMEM node population (Section 3.2).
+
+One engine instance serves all nodes of a simulation.  It registers
+handlers for the operation message types on every node, tracks one
+record per operation, and implements:
+
+* anycast forwarding under any :class:`~repro.ops.anycast.ForwardingPolicy`
+  (greedy / retried-greedy / annealing × HS-only / VS-only / HS+VS);
+* the ack/timeout retry machinery of retried-greedy forwarding;
+* two-stage multicast — anycast into the range, then flooding or gossip
+  dissemination within it.
+
+Ground truth (who was *really* in range and online) comes from a truth
+callable so spam and reliability metrics are measured against reality,
+while all protocol decisions use the nodes' cached beliefs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.config import AvmemConfig
+from repro.core.ids import NodeId
+from repro.core.node import AvmemNode
+from repro.core.membership import SliverSelector
+from repro.ops.anycast import ForwardingPolicy, make_policy
+from repro.ops.messages import AnycastAck, AnycastMessage, MulticastMessage
+from repro.ops.results import AnycastRecord, AnycastStatus, MulticastRecord
+from repro.ops.spec import TargetSpec
+from repro.sim.engine import ScheduledEvent, Simulator
+from repro.sim.network import Envelope, Network
+
+__all__ = ["OperationEngine"]
+
+TruthFn = Callable[[NodeId], float]
+
+
+@dataclass
+class _PendingAttempt:
+    """Retried-greedy state held at the forwarding node."""
+
+    record: AnycastRecord
+    holder: NodeId
+    base_message: AnycastMessage  # the message as held (pre-hop)
+    candidates: List[NodeId]
+    next_index: int
+    retry_remaining: int
+    timeout: Optional[ScheduledEvent] = None
+
+
+@dataclass
+class _GossipState:
+    """Per (op, node) gossip progress."""
+
+    rounds_left: int
+    sent_to: Set[NodeId]
+    cursor: int = 0
+
+
+class OperationEngine:
+    """Runs management operations over a node population."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        nodes: Dict[NodeId, AvmemNode],
+        config: AvmemConfig,
+        truth_availability: TruthFn,
+        rng: Optional[np.random.Generator] = None,
+        verify_inbound: bool = False,
+    ):
+        self.sim = sim
+        self.network = network
+        self.nodes = nodes
+        self.config = config
+        self.truth_availability = truth_availability
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.verify_inbound = verify_inbound
+        self.anycasts: Dict[int, AnycastRecord] = {}
+        self.multicasts: Dict[int, MulticastRecord] = {}
+        self.rejected_inbound = 0
+        self._policies: Dict[int, ForwardingPolicy] = {}
+        self._next_op = 0
+        self._next_attempt = 0
+        self._pending: Dict[int, _PendingAttempt] = {}  # attempt -> state
+        self._mcast_seen: Dict[int, Set[NodeId]] = {}  # op -> nodes that processed
+        self._gossip: Dict[Tuple[int, NodeId], _GossipState] = {}
+        for node in nodes.values():
+            node.register_handler(AnycastMessage, self._handle_anycast)
+            node.register_handler(AnycastAck, self._handle_ack)
+            node.register_handler(MulticastMessage, self._handle_multicast)
+
+    # ------------------------------------------------------------------
+    # Public API — anycast
+    # ------------------------------------------------------------------
+    def anycast(
+        self,
+        initiator: NodeId,
+        target: TargetSpec,
+        policy: str = "greedy",
+        selector: str = SliverSelector.BOTH,
+        ttl: Optional[int] = None,
+        retry: Optional[int] = None,
+        _multicast_payload: bool = False,
+    ) -> AnycastRecord:
+        """Launch an anycast; returns its (live) record immediately.
+
+        Run the simulator forward to let it complete, then inspect the
+        record (or call :meth:`finalize` to classify stragglers).
+        """
+        SliverSelector.validate(selector)
+        policy_obj = make_policy(policy)
+        op_id = self._next_op
+        self._next_op += 1
+        record = AnycastRecord(
+            op_id=op_id,
+            initiator=initiator,
+            target=target,
+            policy=policy,
+            selector=selector,
+            started_at=self.sim.now,
+        )
+        self.anycasts[op_id] = record
+        self._policies[op_id] = policy_obj
+        node = self.nodes[initiator]
+        if not node.online:
+            record.status = AnycastStatus.INITIATOR_OFFLINE
+            return record
+        message = AnycastMessage(
+            op_id=op_id,
+            target=target,
+            ttl=ttl if ttl is not None else self.config.anycast.ttl,
+            retry=retry if retry is not None else self.config.anycast.retry,
+            attempt=self._new_attempt(),
+            origin=initiator,
+            sender=initiator,
+            path=(initiator,),
+            multicast_payload=_multicast_payload,
+        )
+        self._process_anycast_at(node, message)
+        return record
+
+    # ------------------------------------------------------------------
+    # Public API — multicast
+    # ------------------------------------------------------------------
+    def multicast(
+        self,
+        initiator: NodeId,
+        target: TargetSpec,
+        mode: str = "flood",
+        selector: str = SliverSelector.BOTH,
+        anycast_policy: str = "retry-greedy",
+    ) -> MulticastRecord:
+        """Launch a two-stage multicast; returns its (live) record.
+
+        Stage 1 anycasts into the range (sharing the anycast machinery);
+        stage 2 floods or gossips within it.
+        """
+        if mode not in ("flood", "gossip"):
+            raise ValueError(f"mode must be 'flood' or 'gossip', got {mode!r}")
+        SliverSelector.validate(selector)
+        anycast_record = self.anycast(
+            initiator,
+            target,
+            policy=anycast_policy,
+            selector=selector,
+            _multicast_payload=True,
+        )
+        op_id = anycast_record.op_id
+        record = MulticastRecord(
+            op_id=op_id,
+            initiator=initiator,
+            target=target,
+            mode=mode,
+            selector=selector,
+            started_at=anycast_record.started_at,
+            anycast=anycast_record,
+            eligible=self._eligible_nodes(target),
+        )
+        self.multicasts[op_id] = record
+        self._mcast_seen.setdefault(op_id, set())
+        # The anycast may already have delivered synchronously (initiator
+        # in range): start stage 2 now in that case.
+        if anycast_record.delivered and anycast_record.delivery_node is not None:
+            self._start_stage2(record, anycast_record.delivery_node)
+        return record
+
+    def _eligible_nodes(self, target: TargetSpec) -> Set[NodeId]:
+        """Online nodes whose *true* availability is in the target — the
+        Fig 12/13 denominator."""
+        eligible: Set[NodeId] = set()
+        for node_id in self.nodes:
+            if self.network.is_online(node_id) and target.contains(
+                self.truth_availability(node_id)
+            ):
+                eligible.add(node_id)
+        return eligible
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Classify all still-pending anycasts as LOST (call once the
+        simulation has settled)."""
+        for record in self.anycasts.values():
+            record.finalize()
+
+    # ------------------------------------------------------------------
+    # Anycast internals
+    # ------------------------------------------------------------------
+    def _new_attempt(self) -> int:
+        self._next_attempt += 1
+        return self._next_attempt
+
+    def _handle_anycast(self, node: AvmemNode, envelope: Envelope) -> None:
+        message: AnycastMessage = envelope.payload
+        record = self.anycasts.get(message.op_id)
+        if record is None:
+            return
+        record.data_messages += 1
+        if self.verify_inbound and message.sender != node.id:
+            if not node.verifier.accepts(message.sender):
+                self.rejected_inbound += 1
+                return  # no ack: the sender will treat this as a dead hop
+        policy = self._policies[message.op_id]
+        if policy.wants_ack and message.sender != node.id:
+            node.send(message.sender, AnycastAck(message.op_id, message.attempt, node.id))
+            record.ack_messages += 1
+        self._process_anycast_at(node, message)
+
+    def _process_anycast_at(self, node: AvmemNode, message: AnycastMessage) -> None:
+        record = self.anycasts[message.op_id]
+        believed = node.self_descriptor().availability
+        if message.target.contains(believed):
+            self._record_delivery(record, node, message)
+            return
+        if message.ttl <= 0:
+            if record.status == AnycastStatus.PENDING:
+                record.status = AnycastStatus.TTL_EXPIRED
+            return
+        self._forward_anycast(node, message)
+
+    def _record_delivery(
+        self, record: AnycastRecord, node: AvmemNode, message: AnycastMessage
+    ) -> None:
+        if record.status == AnycastStatus.PENDING:
+            record.status = AnycastStatus.DELIVERED
+            record.delivered_at = self.sim.now
+            record.delivery_node = node.id
+            record.delivery_node_true_availability = self.truth_availability(node.id)
+            record.hops = message.hops_taken
+        if message.multicast_payload:
+            mcast = self.multicasts.get(message.op_id)
+            if mcast is not None:
+                self._start_stage2(mcast, node.id)
+
+    def _forward_anycast(self, node: AvmemNode, message: AnycastMessage) -> None:
+        record = self.anycasts[message.op_id]
+        policy = self._policies[message.op_id]
+        entries = node.lists.entries(record.selector)
+        exclude = set(message.path)
+        candidates = policy.order_candidates(
+            entries, message.target, message.ttl, self.rng, exclude
+        )
+        if not candidates:
+            if record.status == AnycastStatus.PENDING:
+                record.status = AnycastStatus.NO_NEIGHBOR
+            return
+        if policy.wants_ack:
+            state = _PendingAttempt(
+                record=record,
+                holder=node.id,
+                base_message=message,
+                candidates=candidates,
+                next_index=0,
+                retry_remaining=message.retry,
+            )
+            self._try_next_candidate(state)
+        else:
+            next_hop = candidates[0]
+            forwarded = message.hop(node.id, next_hop, self._new_attempt())
+            self.network.send(node.id, next_hop, forwarded)
+
+    # -- retried-greedy machinery --------------------------------------
+    def _try_next_candidate(self, state: _PendingAttempt) -> None:
+        record = state.record
+        if record.status != AnycastStatus.PENDING:
+            return  # already resolved elsewhere
+        if state.next_index >= len(state.candidates):
+            record.status = AnycastStatus.NO_NEIGHBOR
+            return
+        candidate = state.candidates[state.next_index]
+        state.next_index += 1
+        attempt = self._new_attempt()
+        forwarded = state.base_message.hop(
+            state.holder, candidate, attempt, retry=state.retry_remaining
+        )
+        self._pending[attempt] = state
+        self.network.send(state.holder, candidate, forwarded)
+        state.timeout = self.sim.schedule(
+            self.config.anycast.ack_timeout, self._on_ack_timeout, attempt
+        )
+
+    def _handle_ack(self, node: AvmemNode, envelope: Envelope) -> None:
+        ack: AnycastAck = envelope.payload
+        state = self._pending.pop(ack.attempt, None)
+        if state is not None and state.timeout is not None:
+            state.timeout.cancel()
+
+    def _on_ack_timeout(self, attempt: int) -> None:
+        state = self._pending.pop(attempt, None)
+        if state is None:
+            return  # acked in the meantime
+        record = state.record
+        if record.status != AnycastStatus.PENDING:
+            return
+        if not self.network.is_online(state.holder):
+            return  # the retrying node itself went offline: message dies
+        state.retry_remaining -= 1
+        record.retries_used += 1
+        if state.retry_remaining <= 0:
+            record.status = AnycastStatus.RETRY_EXPIRED
+            return
+        self._try_next_candidate(state)
+
+    # ------------------------------------------------------------------
+    # Multicast stage 2
+    # ------------------------------------------------------------------
+    def _start_stage2(self, record: MulticastRecord, root: NodeId) -> None:
+        seen = self._mcast_seen.setdefault(record.op_id, set())
+        if root in seen:
+            return
+        message = MulticastMessage(
+            op_id=record.op_id,
+            target=record.target,
+            root=root,
+            sender=root,
+            mode=record.mode,
+        )
+        self._accept_multicast(self.nodes[root], message)
+
+    def _handle_multicast(self, node: AvmemNode, envelope: Envelope) -> None:
+        message: MulticastMessage = envelope.payload
+        record = self.multicasts.get(message.op_id)
+        if record is None:
+            return
+        if self.verify_inbound and message.sender != node.id:
+            if not node.verifier.accepts(message.sender):
+                self.rejected_inbound += 1
+                return
+        self._accept_multicast(node, message)
+
+    def _accept_multicast(self, node: AvmemNode, message: MulticastMessage) -> None:
+        record = self.multicasts[message.op_id]
+        seen = self._mcast_seen[message.op_id]
+        if node.id in seen:
+            record.duplicate_receptions += 1
+            return
+        seen.add(node.id)
+        true_av = self.truth_availability(node.id)
+        if record.target.contains(true_av):
+            record.deliveries[node.id] = self.sim.now
+        else:
+            record.spam.append((node.id, self.sim.now))
+        if record.mode == "flood":
+            self._flood_from(node, record, message)
+        else:
+            self._begin_gossip(node, record, message)
+
+    def _in_range_neighbors(
+        self, node: AvmemNode, record: MulticastRecord
+    ) -> List[NodeId]:
+        """Neighbors whose *cached* availability lies in the target —
+        stale caches here are exactly what produces spam (Fig 12)."""
+        return [
+            entry.node
+            for entry in node.lists.entries(record.selector)
+            if record.target.contains(entry.availability)
+        ]
+
+    def _flood_from(
+        self, node: AvmemNode, record: MulticastRecord, message: MulticastMessage
+    ) -> None:
+        forwarded = message.forwarded(node.id)
+        for neighbor in self._in_range_neighbors(node, record):
+            if neighbor == message.sender:
+                continue
+            self.network.send(node.id, neighbor, forwarded)
+            record.data_messages += 1
+
+    # -- gossip ---------------------------------------------------------
+    def _begin_gossip(
+        self, node: AvmemNode, record: MulticastRecord, message: MulticastMessage
+    ) -> None:
+        key = (record.op_id, node.id)
+        if key in self._gossip:
+            return
+        state = _GossipState(rounds_left=self.config.gossip.rounds, sent_to=set())
+        self._gossip[key] = state
+        # First gossip round fires one period after reception.
+        self.sim.schedule(
+            self.config.gossip.period, self._gossip_round, record.op_id, node.id
+        )
+
+    def _gossip_round(self, op_id: int, node_id: NodeId) -> None:
+        key = (op_id, node_id)
+        state = self._gossip.get(key)
+        record = self.multicasts.get(op_id)
+        if state is None or record is None or state.rounds_left <= 0:
+            return
+        node = self.nodes[node_id]
+        if node.online:
+            candidates = self._in_range_neighbors(node, record)
+            message = MulticastMessage(
+                op_id=op_id,
+                target=record.target,
+                root=record.anycast.delivery_node or node_id,
+                sender=node_id,
+                mode="gossip",
+            )
+            sent = 0
+            # Deterministic iteration through the list (paper's choice),
+            # resuming where the previous round left off.
+            index = state.cursor
+            scanned = 0
+            while sent < self.config.gossip.fanout and scanned < len(candidates):
+                target_node = candidates[index % len(candidates)]
+                index += 1
+                scanned += 1
+                if target_node in state.sent_to or target_node == node_id:
+                    continue
+                state.sent_to.add(target_node)
+                self.network.send(node_id, target_node, message)
+                record.data_messages += 1
+                sent += 1
+            state.cursor = index % len(candidates) if candidates else 0
+        state.rounds_left -= 1
+        if state.rounds_left > 0:
+            self.sim.schedule(
+                self.config.gossip.period, self._gossip_round, op_id, node_id
+            )

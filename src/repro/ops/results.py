@@ -1,0 +1,149 @@
+"""Per-operation outcome records.
+
+Each anycast/multicast gets a mutable record the engine fills in as the
+operation progresses; experiment drivers read the records after the
+simulation settles.  The terminal-status taxonomy matches Fig 9's
+categories (delivered / TTL expired / retry expired) plus the silent
+failure modes a trace-driven simulation surfaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.ids import NodeId
+from repro.ops.spec import TargetSpec
+
+__all__ = ["AnycastStatus", "AnycastRecord", "MulticastRecord"]
+
+
+class AnycastStatus:
+    """Terminal states of an anycast."""
+
+    PENDING = "pending"
+    DELIVERED = "delivered"
+    TTL_EXPIRED = "ttl_expired"
+    RETRY_EXPIRED = "retry_expired"
+    NO_NEIGHBOR = "no_neighbor"  # forwarding node had no usable candidate
+    LOST = "lost"  # dropped in flight with no retry budget watching it
+    INITIATOR_OFFLINE = "initiator_offline"
+
+    TERMINAL = (
+        DELIVERED,
+        TTL_EXPIRED,
+        RETRY_EXPIRED,
+        NO_NEIGHBOR,
+        LOST,
+        INITIATOR_OFFLINE,
+    )
+
+
+@dataclass
+class AnycastRecord:
+    """Outcome of one anycast operation."""
+
+    op_id: int
+    initiator: NodeId
+    target: TargetSpec
+    policy: str
+    selector: str
+    started_at: float
+    status: str = AnycastStatus.PENDING
+    delivered_at: Optional[float] = None
+    delivery_node: Optional[NodeId] = None
+    delivery_node_true_availability: Optional[float] = None
+    hops: Optional[int] = None
+    data_messages: int = 0
+    ack_messages: int = 0
+    retries_used: int = 0
+
+    @property
+    def delivered(self) -> bool:
+        return self.status == AnycastStatus.DELIVERED
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Delivery latency in seconds (None if not delivered)."""
+        if self.delivered_at is None:
+            return None
+        return self.delivered_at - self.started_at
+
+    def finalize(self) -> None:
+        """Classify a still-pending record as LOST (called after the
+        simulation has settled: nothing further can happen)."""
+        if self.status == AnycastStatus.PENDING:
+            self.status = AnycastStatus.LOST
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "op_id": self.op_id,
+            "policy": self.policy,
+            "selector": self.selector,
+            "target": str(self.target),
+            "status": self.status,
+            "hops": self.hops,
+            "latency": self.latency,
+            "data_messages": self.data_messages,
+            "retries_used": self.retries_used,
+        }
+
+
+@dataclass
+class MulticastRecord:
+    """Outcome of one multicast operation (both stages)."""
+
+    op_id: int
+    initiator: NodeId
+    target: TargetSpec
+    mode: str  # "flood" | "gossip"
+    selector: str
+    started_at: float
+    anycast: Optional[AnycastRecord] = None
+    #: nodes eligible at start: online with true availability in target
+    eligible: Set[NodeId] = field(default_factory=set)
+    #: node -> first delivery time (in-range receivers only)
+    deliveries: Dict[NodeId, float] = field(default_factory=dict)
+    #: (node, time) receptions by out-of-range nodes
+    spam: List[Tuple[NodeId, float]] = field(default_factory=list)
+    data_messages: int = 0
+    duplicate_receptions: int = 0
+
+    @property
+    def reached_range(self) -> bool:
+        """Did stage 1 get the message into the target range at all?"""
+        return bool(self.deliveries)
+
+    def reliability(self) -> float:
+        """(number delivered) / (number that could have been delivered) —
+        the Fig 13 metric.  NaN when nobody was eligible."""
+        if not self.eligible:
+            return float("nan")
+        delivered_eligible = sum(1 for node in self.deliveries if node in self.eligible)
+        return delivered_eligible / len(self.eligible)
+
+    def spam_ratio(self) -> float:
+        """(number spam) / (number could have been delivered) — Fig 12."""
+        if not self.eligible:
+            return float("nan")
+        return len(self.spam) / len(self.eligible)
+
+    def worst_latency(self) -> Optional[float]:
+        """Time of the last in-range delivery, relative to start — Fig 11."""
+        if not self.deliveries:
+            return None
+        return max(self.deliveries.values()) - self.started_at
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "op_id": self.op_id,
+            "mode": self.mode,
+            "selector": self.selector,
+            "target": str(self.target),
+            "eligible": len(self.eligible),
+            "delivered": len(self.deliveries),
+            "reliability": self.reliability(),
+            "spam_ratio": self.spam_ratio(),
+            "worst_latency": self.worst_latency(),
+            "data_messages": self.data_messages,
+        }

@@ -1,0 +1,113 @@
+"""Operation target specifications and initiator bands (Section 4.2).
+
+The four management operations all address an *availability region*:
+
+* **Range** operations target ``[b, b+δ] ⊆ [0, 1]``.
+* **Threshold** operations target ``(b, 1.0]`` — "all nodes with
+  availability > b".
+
+The evaluation picks initiators from three availability bands —
+LOW ∈ [0, 1/3), MID ∈ [1/3, 2/3), HIGH ∈ [2/3, 1.0] — and uses the
+target ranges/thresholds listed in DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.util.mathx import point_to_interval_distance
+from repro.util.validation import check_fraction_interval
+
+__all__ = ["TargetSpec", "InitiatorBand", "PAPER_RANGES", "PAPER_THRESHOLDS"]
+
+
+@dataclass(frozen=True)
+class TargetSpec:
+    """An availability target region ``[lo, hi]``.
+
+    Build with :meth:`range` or :meth:`threshold`; ``kind`` records which
+    flavor of operation this is (they differ only in how ``lo``/``hi``
+    were derived, but reports keep them distinct).
+    """
+
+    lo: float
+    hi: float
+    kind: str = "range"
+
+    def __post_init__(self):
+        check_fraction_interval(self.lo, self.hi, "target")
+        if self.kind not in ("range", "threshold"):
+            raise ValueError(f"kind must be 'range' or 'threshold', got {self.kind!r}")
+
+    @classmethod
+    def range(cls, lo: float, hi: float) -> "TargetSpec":
+        """Range operation target ``[lo, hi]``."""
+        return cls(lo=lo, hi=hi, kind="range")
+
+    @classmethod
+    def threshold(cls, b: float) -> "TargetSpec":
+        """Threshold operation target ``(b, 1.0]`` — "availability > b"."""
+        check_fraction_interval(b, b, "threshold")
+        return cls(lo=b, hi=1.0, kind="threshold")
+
+    def contains(self, availability: float) -> bool:
+        """Is an availability inside the target region?
+
+        Threshold targets are exclusive at ``lo`` (strictly greater, per
+        the paper's "availability > b"); range targets are closed.
+        """
+        if self.kind == "threshold":
+            return self.lo < availability <= self.hi
+        return self.lo <= availability <= self.hi
+
+    def distance(self, availability: float) -> float:
+        """The greedy metric: Euclidean distance from the availability to
+        the edge of the region (0 inside)."""
+        return point_to_interval_distance(availability, (self.lo, self.hi))
+
+    def describe(self) -> str:
+        if self.kind == "threshold":
+            return f"av > {self.lo:g}"
+        return f"[{self.lo:g}, {self.hi:g}]"
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+class InitiatorBand:
+    """The paper's LOW/MID/HIGH initiator availability bands."""
+
+    LOW = "low"
+    MID = "mid"
+    HIGH = "high"
+
+    BOUNDS: Dict[str, Tuple[float, float]] = {
+        LOW: (0.0, 1.0 / 3.0),
+        MID: (1.0 / 3.0, 2.0 / 3.0),
+        HIGH: (2.0 / 3.0, 1.0 + 1e-12),  # inclusive of availability 1.0
+    }
+
+    @classmethod
+    def validate(cls, band: str) -> str:
+        if band not in cls.BOUNDS:
+            raise ValueError(
+                f"band must be one of {tuple(cls.BOUNDS)}, got {band!r}"
+            )
+        return band
+
+    @classmethod
+    def contains(cls, band: str, availability: float) -> bool:
+        lo, hi = cls.BOUNDS[cls.validate(band)]
+        return lo <= availability < hi
+
+
+#: The paper's range-operation targets (Section 4.2).
+PAPER_RANGES: Tuple[Tuple[float, float], ...] = (
+    (0.2, 0.3),
+    (0.44, 0.54),
+    (0.85, 0.95),
+)
+
+#: The paper's threshold-operation targets.
+PAPER_THRESHOLDS: Tuple[float, ...] = (0.25, 0.49, 0.90)

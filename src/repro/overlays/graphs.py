@@ -1,0 +1,110 @@
+"""Static overlay-graph construction and analysis.
+
+Because the AVMEM predicate is consistent, the overlay it spans at any
+instant is a pure function of the node set and their availabilities.
+:func:`build_overlay_graph` materializes that graph directly (vectorized
+over candidates), which powers the microbenchmark figures (Figs 2-4),
+the Theorem 2 connectivity checks, and the ``bootstrap="direct"``
+simulation mode.
+
+Graphs are :class:`networkx.DiGraph` — membership is directed: ``x → y``
+means "y is in x's membership list" (``M(x, y) = 1``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.core.ids import NodeId, digest_array
+from repro.core.predicates import AvmemPredicate, NodeDescriptor, SliverKind
+
+__all__ = [
+    "build_overlay_graph",
+    "sliver_sizes",
+    "incoming_counts_by_kind",
+    "band_subgraph",
+    "band_connectivity",
+    "mean_out_degree",
+]
+
+
+def build_overlay_graph(
+    descriptors: Sequence[NodeDescriptor],
+    predicate: AvmemPredicate,
+    cushion: float = 0.0,
+) -> nx.DiGraph:
+    """The directed membership graph over ``descriptors``.
+
+    Node attributes: ``availability``.  Edge attributes: ``kind``
+    (:class:`SliverKind`).  O(n²) predicate evaluations, vectorized per
+    source row.
+    """
+    ids: List[NodeId] = [d.node for d in descriptors]
+    if len(set(ids)) != len(ids):
+        raise ValueError("descriptors must have unique node ids")
+    avs = np.array([d.availability for d in descriptors], dtype=float)
+    graph = nx.DiGraph()
+    for descriptor in descriptors:
+        graph.add_node(descriptor.node, availability=descriptor.availability)
+    for i, source in enumerate(descriptors):
+        member, horizontal = predicate.evaluate_many(source, ids, avs, cushion=cushion)
+        for j in np.flatnonzero(member):
+            kind = SliverKind.HORIZONTAL if horizontal[j] else SliverKind.VERTICAL
+            graph.add_edge(source.node, ids[j], kind=kind)
+    return graph
+
+
+def sliver_sizes(graph: nx.DiGraph) -> Dict[NodeId, Tuple[int, int]]:
+    """Per-node ``(hs_size, vs_size)`` out-degrees."""
+    out: Dict[NodeId, Tuple[int, int]] = {}
+    for node in graph.nodes:
+        hs = vs = 0
+        for _, _, data in graph.out_edges(node, data=True):
+            if data["kind"] is SliverKind.HORIZONTAL:
+                hs += 1
+            else:
+                vs += 1
+        out[node] = (hs, vs)
+    return out
+
+
+def incoming_counts_by_kind(graph: nx.DiGraph, kind: SliverKind) -> Dict[NodeId, int]:
+    """Per-node count of incoming edges of one sliver kind (Fig 4)."""
+    counts: Dict[NodeId, int] = {node: 0 for node in graph.nodes}
+    for _, dst, data in graph.edges(data=True):
+        if data["kind"] is kind:
+            counts[dst] += 1
+    return counts
+
+
+def band_subgraph(graph: nx.DiGraph, lo: float, hi: float) -> nx.DiGraph:
+    """Induced subgraph of nodes with availability in ``[lo, hi]``."""
+    members = [
+        node
+        for node, data in graph.nodes(data=True)
+        if lo <= data["availability"] <= hi
+    ]
+    return graph.subgraph(members).copy()
+
+
+def band_connectivity(graph: nx.DiGraph, lo: float, hi: float) -> bool:
+    """Is the sub-overlay of nodes with availability in ``[lo, hi]``
+    weakly connected?  (Theorem 2's claim, for bands of width 2ε.)
+
+    Empty or singleton bands count as connected.
+    """
+    sub = band_subgraph(graph, lo, hi)
+    if sub.number_of_nodes() <= 1:
+        return True
+    return nx.is_weakly_connected(sub)
+
+
+def mean_out_degree(graph: nx.DiGraph) -> float:
+    """Average membership-list size across nodes."""
+    n = graph.number_of_nodes()
+    if n == 0:
+        return float("nan")
+    return graph.number_of_edges() / n

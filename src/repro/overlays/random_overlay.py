@@ -1,0 +1,49 @@
+"""The Fig 10 baseline: a degree-matched consistent *random* overlay.
+
+"…we ran exactly the same range-anycast operation … but over a random
+overlay graph similar to those created by alternative membership
+protocols like SCAMP, CYCLON, T-MAN" (Section 4.2).  The baseline keeps
+AVMEM's consistency (so verification still works) but selects neighbors
+availability-blindly: ``f(·,·) = p``, with ``p`` chosen to match the
+AVMEM overlay's mean degree so the comparison isolates *where* the links
+point, not *how many* there are.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.predicates import (
+    AvmemPredicate,
+    NodeDescriptor,
+    random_overlay_predicate,
+)
+from repro.core.theory import expected_degree
+
+__all__ = ["degree_matched_random_predicate", "mean_avmem_degree"]
+
+
+def mean_avmem_degree(
+    predicate: AvmemPredicate, descriptors: Sequence[NodeDescriptor]
+) -> float:
+    """Population-average expected AVMEM degree (theory, not sampling)."""
+    if not descriptors:
+        raise ValueError("need at least one descriptor")
+    degrees = [expected_degree(predicate, d.availability) for d in descriptors]
+    return float(np.mean(degrees))
+
+
+def degree_matched_random_predicate(
+    predicate: AvmemPredicate, descriptors: Sequence[NodeDescriptor]
+) -> AvmemPredicate:
+    """A random-overlay predicate whose expected degree matches what the
+    given AVMEM predicate induces on ``descriptors``."""
+    degree = mean_avmem_degree(predicate, descriptors)
+    return random_overlay_predicate(
+        predicate.pdf,
+        expected_degree=max(degree, 1.0),
+        epsilon=predicate.epsilon,
+        hash_fn=predicate.hash_fn,
+    )

@@ -1,0 +1,182 @@
+"""Availability-keyed ring DHT — the paper's *eliminated* alternative.
+
+Section 1.2 considers assigning Chord/Pastry nodeIDs "based on the
+node's availability, rather than a hash of its IP address", so that
+availability-based queries become DHT range lookups — and rejects it:
+every availability change re-keys the node (a leave + rejoin in ring
+terms), and range multicast along the ring is linear in the number of
+nodes covered.
+
+This module implements that alternative honestly so the claim can be
+*measured* (see ``benchmarks/bench_ablation_ring_dht.py``): a sorted
+ring keyed by current availability estimates, finger-style O(log N)
+point lookups, successor-walk range traversal, and an update operation
+that counts re-keying events as estimates drift.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.ids import NodeId
+from repro.util.validation import check_fraction_interval, check_unit_interval
+
+__all__ = ["AvailabilityRing", "RingLookupResult"]
+
+
+@dataclass(frozen=True)
+class RingLookupResult:
+    """Outcome of a ring lookup: the owner node and the hop count."""
+
+    node: NodeId
+    key: float
+    hops: int
+
+
+class AvailabilityRing:
+    """A ring DHT whose key space is the availability interval [0, 1].
+
+    Nodes sit at their availability estimate; a key is owned by its
+    *successor* (the first node at or clockwise-after the key, wrapping).
+    Fingers at exponentially decreasing distances give O(log N) lookups,
+    as in Chord — but over availability space, so every estimate change
+    moves the node (``update_key`` counts these re-keyings, the churn
+    that Section 1.2 objects to).
+    """
+
+    #: estimate changes smaller than this don't re-key the node (a real
+    #: deployment would quantize ids; this is generous to the baseline).
+    REKEY_THRESHOLD = 0.01
+
+    def __init__(self):
+        self._keys: List[float] = []       # sorted availability keys
+        self._nodes: List[NodeId] = []     # co-indexed with _keys
+        self._position: Dict[NodeId, float] = {}
+        self.rekey_events = 0
+        self.join_events = 0
+        self.leave_events = 0
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def join(self, node: NodeId, availability: float) -> None:
+        """Insert a node at its availability key."""
+        check_unit_interval(availability, "availability")
+        if node in self._position:
+            raise ValueError(f"{node} already joined")
+        self._insert(node, availability)
+        self.join_events += 1
+
+    def leave(self, node: NodeId) -> None:
+        """Remove a node (e.g., it went offline)."""
+        key = self._position.pop(node, None)
+        if key is None:
+            raise KeyError(f"{node} is not on the ring")
+        index = self._locate(node, key)
+        del self._keys[index]
+        del self._nodes[index]
+        self.leave_events += 1
+
+    def update_key(self, node: NodeId, availability: float) -> bool:
+        """Move a node to its new availability estimate.
+
+        Returns True when the move exceeded :data:`REKEY_THRESHOLD` and
+        therefore counted as a re-keying (leave + rejoin) event — the
+        cost metric for this baseline.
+        """
+        check_unit_interval(availability, "availability")
+        old = self._position.get(node)
+        if old is None:
+            raise KeyError(f"{node} is not on the ring")
+        if abs(availability - old) < self.REKEY_THRESHOLD:
+            return False
+        index = self._locate(node, old)
+        del self._keys[index]
+        del self._nodes[index]
+        self._insert(node, availability)
+        self.rekey_events += 1
+        return True
+
+    def _insert(self, node: NodeId, key: float) -> None:
+        index = bisect.bisect_left(self._keys, key)
+        self._keys.insert(index, key)
+        self._nodes.insert(index, node)
+        self._position[node] = key
+
+    def _locate(self, node: NodeId, key: float) -> int:
+        index = bisect.bisect_left(self._keys, key)
+        while index < len(self._nodes) and self._nodes[index] != node:
+            index += 1
+        if index >= len(self._nodes):
+            raise RuntimeError(f"ring index out of sync for {node}")
+        return index
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._position
+
+    def position(self, node: NodeId) -> Optional[float]:
+        return self._position.get(node)
+
+    def members(self) -> Tuple[NodeId, ...]:
+        return tuple(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def successor_index(self, key: float) -> int:
+        """Index of the node owning ``key`` (wraps past 1.0)."""
+        if not self._nodes:
+            raise RuntimeError("empty ring")
+        index = bisect.bisect_left(self._keys, key)
+        return index % len(self._nodes)
+
+    def lookup(self, start: NodeId, key: float) -> RingLookupResult:
+        """Chord-style finger routing from ``start`` to the owner of
+        ``key``; the hop count models lookup latency."""
+        check_unit_interval(key, "key")
+        if start not in self._position:
+            raise KeyError(f"{start} is not on the ring")
+        n = len(self._nodes)
+        target = self.successor_index(key)
+        current = self._locate(start, self._position[start])
+        hops = 0
+        while current != target:
+            distance = (target - current) % n
+            # Largest power-of-two finger not overshooting the target.
+            step = 1
+            while step * 2 <= distance:
+                step *= 2
+            current = (current + step) % n
+            hops += 1
+        return RingLookupResult(node=self._nodes[target], key=key, hops=hops)
+
+    def range_walk(self, start: NodeId, lo: float, hi: float) -> Tuple[List[NodeId], int]:
+        """Deliver to every node with key in [lo, hi]: finger-route to
+        the range start, then successor-walk — **one hop per member**,
+        the linear cost Section 1.2 calls out.
+
+        Returns (members reached, total hops).
+        """
+        check_fraction_interval(lo, hi, "range")
+        entry = self.lookup(start, lo)
+        hops = entry.hops
+        reached: List[NodeId] = []
+        n = len(self._nodes)
+        index = self._locate(entry.node, self._position[entry.node])
+        while self._keys[index] <= hi:
+            if self._keys[index] >= lo:
+                reached.append(self._nodes[index])
+            next_index = index + 1
+            if next_index >= n:
+                break  # availability space does not wrap for ranges
+            index = next_index
+            hops += 1
+        return reached, hops

@@ -1,0 +1,44 @@
+"""Discrete-event simulation substrate: engine, processes, network, metrics."""
+
+from repro.sim.engine import PeriodicTask, ScheduledEvent, SimulationError, Simulator
+from repro.sim.latency import (
+    PAPER_HOP_LATENCY,
+    ConstantLatency,
+    LatencyModel,
+    LogNormalLatency,
+    UniformLatency,
+)
+from repro.sim.metrics import Counter, Distribution, MetricsRegistry, TimeSeries
+from repro.sim.network import (
+    AlwaysOnline,
+    DropReason,
+    Envelope,
+    Network,
+    NetworkStats,
+    PresenceOracle,
+)
+from repro.sim.process import Process, spawn
+
+__all__ = [
+    "Simulator",
+    "ScheduledEvent",
+    "PeriodicTask",
+    "SimulationError",
+    "Process",
+    "spawn",
+    "LatencyModel",
+    "UniformLatency",
+    "ConstantLatency",
+    "LogNormalLatency",
+    "PAPER_HOP_LATENCY",
+    "Network",
+    "NetworkStats",
+    "Envelope",
+    "DropReason",
+    "PresenceOracle",
+    "AlwaysOnline",
+    "Counter",
+    "Distribution",
+    "TimeSeries",
+    "MetricsRegistry",
+]

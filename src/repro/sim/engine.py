@@ -1,0 +1,306 @@
+"""Discrete-event simulation engine.
+
+The paper evaluated AVMEM with a C/C++ discrete-event simulation; this
+module is our from-scratch Python equivalent.  It provides:
+
+* :class:`Simulator` — a binary-heap event loop with deterministic
+  tie-breaking (events at equal times fire in scheduling order).
+* :class:`ScheduledEvent` — a cancellable handle for a scheduled callback.
+* :class:`PeriodicTask` — a fixed-period repeating callback with optional
+  start jitter, used for the paper's protocol periods (discovery every
+  minute, refresh every 20 minutes, gossip every second).
+
+Time is a ``float`` in **seconds** throughout the library.
+
+Design notes
+------------
+Callbacks (rather than coroutines) are the primitive because the protocol
+logic in :mod:`repro.core.node` and :mod:`repro.ops` is naturally
+event-driven and callbacks keep the hot loop cheap.  A small
+generator-based process layer is provided in :mod:`repro.sim.process` for
+tests and examples that read better as sequential scripts.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["Simulator", "ScheduledEvent", "PeriodicTask", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid interactions with the simulator (e.g. scheduling
+    in the past)."""
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    time: float
+    seq: int
+    event: "ScheduledEvent" = field(compare=False)
+
+
+class ScheduledEvent:
+    """Handle for a scheduled callback.
+
+    Instances are returned by :meth:`Simulator.schedule` /
+    :meth:`Simulator.schedule_at` and can be cancelled with
+    :meth:`cancel` any time before they fire.
+    """
+
+    __slots__ = ("time", "callback", "args", "_cancelled", "_fired")
+
+    def __init__(self, time: float, callback: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self._cancelled = False
+        self._fired = False
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called before the event fired."""
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        """Whether the callback has already run."""
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still queued and will fire."""
+        return not (self._cancelled or self._fired)
+
+    def cancel(self) -> bool:
+        """Cancel the event.  Returns True if it was still pending."""
+        if self.pending:
+            self._cancelled = True
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else ("fired" if self._fired else "pending")
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"ScheduledEvent(t={self.time:.6f}, {name}, {state})"
+
+
+class Simulator:
+    """Heap-based discrete-event loop.
+
+    >>> sim = Simulator()
+    >>> order = []
+    >>> _ = sim.schedule(2.0, order.append, "b")
+    >>> _ = sim.schedule(1.0, order.append, "a")
+    >>> sim.run()
+    >>> order
+    ['a', 'b']
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: List[_HeapEntry] = []
+        self._counter = itertools.count()
+        self._events_processed = 0
+        self._running = False
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of callbacks executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_count(self) -> int:
+        """Number of queued events, including cancelled-but-unpopped ones."""
+        return sum(1 for entry in self._queue if entry.event.pending)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is empty."""
+        self._drop_cancelled_head()
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule with negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at an absolute simulation time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time!r} before current time t={self._now!r}"
+            )
+        if not callable(callback):
+            raise TypeError(f"callback must be callable, got {callback!r}")
+        event = ScheduledEvent(float(time), callback, args)
+        heapq.heappush(self._queue, _HeapEntry(event.time, next(self._counter), event))
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the single next pending event.  Returns False if none remain."""
+        entry = self._pop_next()
+        if entry is None:
+            return False
+        self._now = entry.time
+        event = entry.event
+        event._fired = True
+        event.callback(*event.args)
+        self._events_processed += 1
+        return True
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``max_events`` fire).
+
+        Returns the number of events executed by this call.
+        """
+        executed = 0
+        self._running, self._stop_requested = True, False
+        try:
+            while not self._stop_requested:
+                if max_events is not None and executed >= max_events:
+                    break
+                if not self.step():
+                    break
+                executed += 1
+        finally:
+            self._running = False
+        return executed
+
+    def run_until(self, time: float) -> int:
+        """Run all events with ``event.time <= time``; advance clock to ``time``.
+
+        Returns the number of events executed.  The clock is advanced to
+        exactly ``time`` even if the queue drains early, so periodic
+        bookkeeping that reads :attr:`now` stays aligned.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot run until t={time!r}, already at t={self._now!r}"
+            )
+        executed = 0
+        self._running, self._stop_requested = True, False
+        try:
+            while not self._stop_requested:
+                next_time = self.peek_time()
+                if next_time is None or next_time > time:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        self._now = max(self._now, float(time))
+        return executed
+
+    def stop(self) -> None:
+        """Request that a ``run``/``run_until`` in progress return after the
+        current event."""
+        self._stop_requested = True
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _drop_cancelled_head(self) -> None:
+        while self._queue and not self._queue[0].event.pending:
+            heapq.heappop(self._queue)
+
+    def _pop_next(self) -> Optional[_HeapEntry]:
+        self._drop_cancelled_head()
+        if not self._queue:
+            return None
+        return heapq.heappop(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self._now:.3f}, pending={self.pending_count}, "
+            f"processed={self._events_processed})"
+        )
+
+
+class PeriodicTask:
+    """A callback re-scheduled every ``period`` seconds.
+
+    The task fires first at ``start_delay`` (default: one full period) and
+    then every ``period`` seconds until :meth:`stop` is called.  Protocol
+    loops (discovery, refresh, gossip rounds) are built on this.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[[], Any],
+        start_delay: Optional[float] = None,
+        jitter: float = 0.0,
+        rng=None,
+    ):
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period!r}")
+        if jitter < 0:
+            raise SimulationError(f"jitter must be non-negative, got {jitter!r}")
+        if jitter > 0 and rng is None:
+            raise SimulationError("jitter requires an rng")
+        self._sim = sim
+        self._period = float(period)
+        self._callback = callback
+        self._jitter = float(jitter)
+        self._rng = rng
+        self._stopped = False
+        self._fire_count = 0
+        first = self._period if start_delay is None else float(start_delay)
+        self._handle: Optional[ScheduledEvent] = sim.schedule(first, self._fire)
+
+    @property
+    def period(self) -> float:
+        return self._period
+
+    @property
+    def fire_count(self) -> int:
+        """How many times the callback has run."""
+        return self._fire_count
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def stop(self) -> None:
+        """Stop the task; the pending occurrence (if any) is cancelled."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _next_delay(self) -> float:
+        if self._jitter == 0:
+            return self._period
+        # Uniform jitter keeps the mean period intact.
+        offset = (float(self._rng.random()) * 2.0 - 1.0) * self._jitter
+        return max(1e-9, self._period + offset)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._fire_count += 1
+        self._callback()
+        if not self._stopped:
+            self._handle = self._sim.schedule(self._next_delay(), self._fire)

@@ -1,0 +1,170 @@
+"""Measurement primitives: counters, distributions, and time series.
+
+Experiment drivers use a :class:`MetricsRegistry` so that figures can be
+regenerated from one structured object rather than ad-hoc lists scattered
+through protocol code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.util.mathx import empirical_cdf, mean_or_nan, quantile
+
+__all__ = ["Counter", "Distribution", "TimeSeries", "MetricsRegistry"]
+
+
+@dataclass
+class Counter:
+    """A monotone event counter."""
+
+    value: int = 0
+
+    def increment(self, by: int = 1) -> None:
+        if by < 0:
+            raise ValueError(f"counter increments must be non-negative, got {by}")
+        self.value += by
+
+
+class Distribution:
+    """Collects float samples; answers mean/quantile/CDF queries.
+
+    Samples are kept in insertion order (useful when a figure needs the
+    raw scatter, e.g. Fig 2's per-node sliver sizes).
+    """
+
+    __slots__ = ("_samples",)
+
+    def __init__(self, samples: Optional[Iterable[float]] = None):
+        self._samples: List[float] = (
+            [float(s) for s in samples] if samples is not None else []
+        )
+
+    def add(self, sample: float) -> None:
+        self._samples.append(float(sample))
+
+    def extend(self, samples: Iterable[float]) -> None:
+        self._samples.extend(float(s) for s in samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> Tuple[float, ...]:
+        return tuple(self._samples)
+
+    def mean(self) -> float:
+        return mean_or_nan(self._samples)
+
+    def quantile(self, q: float) -> float:
+        return quantile(self._samples, q)
+
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def min(self) -> float:
+        return min(self._samples) if self._samples else float("nan")
+
+    def max(self) -> float:
+        return max(self._samples) if self._samples else float("nan")
+
+    def cdf(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Empirical CDF as ``(xs, ps)`` arrays."""
+        return empirical_cdf(self._samples)
+
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of samples ``<= threshold`` (NaN when empty)."""
+        if not self._samples:
+            return float("nan")
+        return sum(1 for s in self._samples if s <= threshold) / len(self._samples)
+
+    def histogram(self, bins: int = 10, lo: float = 0.0, hi: float = 1.0) -> Tuple[np.ndarray, np.ndarray]:
+        """Fixed-range histogram — availability axes are always [0, 1]."""
+        counts, edges = np.histogram(np.asarray(self._samples, dtype=float), bins=bins, range=(lo, hi))
+        return counts, edges
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean(),
+            "median": self.median(),
+            "p90": self.quantile(0.9) if self._samples else float("nan"),
+            "min": self.min(),
+            "max": self.max(),
+        }
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Distribution(n={self.count}, mean={self.mean():.4g})"
+
+
+@dataclass
+class TimeSeries:
+    """(time, value) samples, e.g. online-population over the trace."""
+
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def add(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"time series must be appended in order; {time} < {self.times[-1]}"
+            )
+        self.times.append(float(time))
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.times)
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self.times), np.asarray(self.values)
+
+    def last(self) -> Tuple[float, float]:
+        if not self.times:
+            raise IndexError("empty time series")
+        return self.times[-1], self.values[-1]
+
+
+class MetricsRegistry:
+    """Named counters, distributions, and time series for one experiment."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._distributions: Dict[str, Distribution] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter()
+        return self._counters[name]
+
+    def distribution(self, name: str) -> Distribution:
+        if name not in self._distributions:
+            self._distributions[name] = Distribution()
+        return self._distributions[name]
+
+    def series(self, name: str) -> TimeSeries:
+        if name not in self._series:
+            self._series[name] = TimeSeries()
+        return self._series[name]
+
+    def counter_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._counters))
+
+    def distribution_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._distributions))
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict dump of everything, for reports and debugging."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "distributions": {k: d.summary() for k, d in sorted(self._distributions.items())},
+            "series": {k: s.count for k, s in sorted(self._series.items())},
+        }

@@ -1,0 +1,191 @@
+"""Simulated message-passing network with presence-gated delivery.
+
+Messages between nodes take a latency drawn from a
+:class:`~repro.sim.latency.LatencyModel`.  Delivery only succeeds if the
+destination is online at the arrival instant (per the churn trace); a
+message to an offline node is silently dropped — exactly the failure mode
+that the paper's retried-greedy anycast (Section 3.2) exists to mask.
+
+The network layer is deliberately dumb: no acknowledgements, no retries.
+Those are protocol behaviours and live in :mod:`repro.ops`, built from
+plain messages plus simulator timeouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, Optional, Protocol
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.sim.latency import LatencyModel, UniformLatency
+
+__all__ = ["Network", "NetworkStats", "PresenceOracle", "Envelope", "DropReason"]
+
+NodeKey = Hashable
+Handler = Callable[["Envelope"], None]
+
+
+class PresenceOracle(Protocol):
+    """Answers whether a node is online at a given simulation time.
+
+    Implemented by :class:`repro.churn.trace.ChurnTrace` and by the
+    always-on oracle used in unit tests.
+    """
+
+    def is_online(self, node: NodeKey, time: float) -> bool:  # pragma: no cover
+        ...
+
+
+class AlwaysOnline:
+    """Presence oracle that reports every node online (for tests/examples)."""
+
+    def is_online(self, node: NodeKey, time: float) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in flight (or delivered)."""
+
+    src: NodeKey
+    dst: NodeKey
+    payload: Any
+    sent_at: float
+    delivered_at: float
+
+
+class DropReason:
+    """Enumerates why a message failed to deliver (plain strings for cheap
+    counter keys)."""
+
+    SRC_OFFLINE = "src_offline"
+    DST_OFFLINE = "dst_offline"
+    NO_HANDLER = "no_handler"
+
+
+@dataclass
+class NetworkStats:
+    """Running message accounting for a :class:`Network`."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def dropped_total(self) -> int:
+        return sum(self.dropped.values())
+
+    def record_drop(self, reason: str) -> None:
+        self.dropped[reason] = self.dropped.get(reason, 0) + 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-dict copy for reports."""
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": dict(self.dropped),
+            "dropped_total": self.dropped_total,
+        }
+
+
+class Network:
+    """Latency- and presence-aware message router.
+
+    Parameters
+    ----------
+    sim:
+        The driving simulator.
+    latency:
+        Per-message one-way latency model.  Defaults to the paper's
+        uniform [20 ms, 80 ms].
+    presence:
+        Oracle deciding who is online when.  Defaults to always-online.
+    rng:
+        Random stream for latency sampling.
+    check_sender:
+        When True (default), a message from a node that is offline at send
+        time is dropped immediately — a crashed node cannot transmit.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        presence: Optional[PresenceOracle] = None,
+        rng: Optional[np.random.Generator] = None,
+        check_sender: bool = True,
+    ):
+        self.sim = sim
+        self.latency = latency if latency is not None else UniformLatency()
+        self.presence = presence if presence is not None else AlwaysOnline()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.check_sender = check_sender
+        self.stats = NetworkStats()
+        self._handlers: Dict[NodeKey, Handler] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def attach(self, node: NodeKey, handler: Handler) -> None:
+        """Register the message handler for ``node`` (one per node)."""
+        if node in self._handlers:
+            raise ValueError(f"node {node!r} already attached")
+        self._handlers[node] = handler
+
+    def detach(self, node: NodeKey) -> None:
+        """Remove a node's handler; in-flight messages to it will be dropped."""
+        self._handlers.pop(node, None)
+
+    def is_attached(self, node: NodeKey) -> bool:
+        return node in self._handlers
+
+    @property
+    def node_count(self) -> int:
+        return len(self._handlers)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, src: NodeKey, dst: NodeKey, payload: Any) -> bool:
+        """Send ``payload`` from ``src`` to ``dst``.
+
+        Returns True if the message was put on the wire (it may still be
+        dropped at arrival if the destination has gone offline by then).
+        Returns False if the sender itself was offline.
+        """
+        now = self.sim.now
+        if self.check_sender and not self.presence.is_online(src, now):
+            self.stats.record_drop(DropReason.SRC_OFFLINE)
+            return False
+        self.stats.sent += 1
+        delay = self.latency.sample(self.rng)
+        deliver_at = now + delay
+        envelope = Envelope(src=src, dst=dst, payload=payload, sent_at=now, delivered_at=deliver_at)
+        self.sim.schedule(delay, self._deliver, envelope)
+        return True
+
+    def is_online(self, node: NodeKey) -> bool:
+        """Convenience: is ``node`` online right now?"""
+        return self.presence.is_online(node, self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def _deliver(self, envelope: Envelope) -> None:
+        if not self.presence.is_online(envelope.dst, self.sim.now):
+            self.stats.record_drop(DropReason.DST_OFFLINE)
+            return
+        handler = self._handlers.get(envelope.dst)
+        if handler is None:
+            self.stats.record_drop(DropReason.NO_HANDLER)
+            return
+        self.stats.delivered += 1
+        handler(envelope)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Network(nodes={self.node_count}, sent={self.stats.sent}, "
+            f"delivered={self.stats.delivered}, dropped={self.stats.dropped_total})"
+        )

@@ -1,0 +1,104 @@
+"""Generator-based processes on top of the callback engine.
+
+A process is a Python generator that ``yield``s delays (in seconds).  The
+scheduler resumes it after each delay.  This layer exists for tests,
+examples, and scripted scenarios where a sequential narrative is clearer
+than chained callbacks; the protocol hot paths use callbacks directly.
+
+>>> sim = Simulator()
+>>> log = []
+>>> def proc():
+...     log.append(("start", sim.now))
+...     yield 5.0
+...     log.append(("later", sim.now))
+>>> _ = spawn(sim, proc())
+>>> sim.run()
+>>> log
+[('start', 0.0), ('later', 5.0)]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.engine import ScheduledEvent, SimulationError, Simulator
+
+__all__ = ["Process", "spawn"]
+
+ProcessGenerator = Generator[float, None, Any]
+
+
+class Process:
+    """A running generator process.
+
+    The generator yields non-negative float delays.  ``StopIteration``
+    terminates the process and captures its return value in
+    :attr:`result`.  Exceptions raised inside the generator propagate out
+    of the simulator's ``run`` call — silent failure would corrupt
+    experiments.
+    """
+
+    __slots__ = ("_sim", "_gen", "_done", "result", "_pending", "_on_done")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        gen: ProcessGenerator,
+        delay: float = 0.0,
+        on_done: Optional[Callable[["Process"], None]] = None,
+    ):
+        self._sim = sim
+        self._gen = gen
+        self._done = False
+        self.result: Any = None
+        self._on_done = on_done
+        self._pending: Optional[ScheduledEvent] = sim.schedule(delay, self._resume)
+
+    @property
+    def done(self) -> bool:
+        """Whether the generator has finished (or been interrupted)."""
+        return self._done
+
+    def interrupt(self) -> None:
+        """Stop the process; the generator's ``close()`` is invoked so its
+        ``finally`` blocks run."""
+        if self._done:
+            return
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        self._gen.close()
+        self._finish(None)
+
+    def _resume(self) -> None:
+        if self._done:
+            return
+        self._pending = None
+        try:
+            delay = next(self._gen)
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None))
+            return
+        if not isinstance(delay, (int, float)) or delay < 0:
+            self._gen.close()
+            self._finish(None)
+            raise SimulationError(
+                f"process must yield a non-negative delay, got {delay!r}"
+            )
+        self._pending = self._sim.schedule(float(delay), self._resume)
+
+    def _finish(self, result: Any) -> None:
+        self._done = True
+        self.result = result
+        if self._on_done is not None:
+            self._on_done(self)
+
+
+def spawn(
+    sim: Simulator,
+    gen: ProcessGenerator,
+    delay: float = 0.0,
+    on_done: Optional[Callable[[Process], None]] = None,
+) -> Process:
+    """Start a generator process ``delay`` seconds from now."""
+    return Process(sim, gen, delay=delay, on_done=on_done)

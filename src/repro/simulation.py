@@ -1,0 +1,464 @@
+"""End-to-end simulation orchestrator.
+
+:class:`AvmemSimulation` wires every substrate together the way the
+paper's evaluation does: an Overnet-style churn trace drives presence; an
+availability monitoring service (oracle or AVMON) answers availability
+queries; a shuffled coarse view feeds discovery; AVMEM nodes maintain
+their slivers; and an :class:`~repro.ops.engine.OperationEngine` executes
+the management operations, with per-hop latencies of U[20, 80] ms.
+
+Two bootstrap modes (DESIGN.md §1.5):
+
+* ``"protocol"`` — nodes start with empty lists and run the discovery/
+  refresh protocols through the warm-up period (the paper's 24 hours).
+  Faithful but expensive; use for small populations and protocol tests.
+* ``"direct"`` — the warm-up clock is advanced, then each node's lists
+  are computed by evaluating the consistent predicate against the full
+  candidate set, after which the periodic refresh keeps them current.
+  Because the predicate is consistent, this is the graph discovery
+  converges to; it makes full-scale (1442-host) figure regeneration
+  cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.churn.overnet import OvernetTraceConfig, generate_overnet_trace
+from repro.churn.trace import ChurnTrace
+from repro.core.config import AvmemConfig
+from repro.core.ids import NodeId, make_node_ids
+from repro.core.node import AvmemNode
+from repro.core.availability import AvailabilityPdf
+from repro.core.predicates import (
+    AvmemPredicate,
+    NodeDescriptor,
+    paper_predicate,
+)
+from repro.monitor.cache import CachedAvailabilityView
+from repro.monitor.coarse_view import GlobalSampleView, ShuffledCoarseView
+from repro.monitor.oracle import OracleAvailability
+from repro.ops.engine import OperationEngine
+from repro.ops.results import AnycastRecord, MulticastRecord
+from repro.ops.spec import InitiatorBand, TargetSpec
+from repro.overlays.random_overlay import degree_matched_random_predicate
+from repro.sim.engine import Simulator
+from repro.sim.latency import PAPER_HOP_LATENCY
+from repro.sim.network import Network
+from repro.util.randomness import RandomRouter
+
+__all__ = ["SimulationSettings", "AvmemSimulation"]
+
+TargetLike = Union[TargetSpec, Tuple[float, float], float]
+
+
+@dataclass(frozen=True)
+class SimulationSettings:
+    """Everything needed to reproduce one simulation run.
+
+    Defaults are the paper's evaluation setup at full scale; tests use
+    smaller ``hosts``/``epochs``.
+    """
+
+    hosts: int = 1442
+    epochs: int = 504
+    epoch_seconds: float = 1200.0
+    seed: int = 0
+    config: AvmemConfig = field(default_factory=AvmemConfig)
+    #: "paper" (I.B + II.B) or "random" (degree-matched f = p baseline)
+    predicate_kind: str = "paper"
+    #: "direct" or "protocol" (see module docstring)
+    bootstrap: str = "direct"
+    #: "global" (idealized resampler) or "shuffled" (CYCLON-style swaps)
+    coarse_view_kind: str = "global"
+    #: which protocol loops run after setup: "full", "refresh-only", "off"
+    protocols: str = "full"
+    #: monitoring-service degradation (drives Figs 5-6 divergence)
+    monitor_noise_std: float = 0.02
+    monitor_quantization: float = 0.0
+    #: should operation recipients verify senders (Section 4.1 checks)?
+    verify_inbound: bool = False
+    #: diurnal churn parameters forwarded to the trace generator
+    diurnal_amplitude: float = 0.3
+    diurnal_fraction: float = 0.4
+
+    def __post_init__(self):
+        if self.hosts <= 1:
+            raise ValueError(f"hosts must be > 1, got {self.hosts}")
+        if self.epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {self.epochs}")
+        if self.predicate_kind not in ("paper", "random"):
+            raise ValueError(
+                f"predicate_kind must be 'paper' or 'random', got {self.predicate_kind!r}"
+            )
+        if self.bootstrap not in ("direct", "protocol"):
+            raise ValueError(
+                f"bootstrap must be 'direct' or 'protocol', got {self.bootstrap!r}"
+            )
+        if self.coarse_view_kind not in ("global", "shuffled"):
+            raise ValueError(
+                f"coarse_view_kind must be 'global' or 'shuffled', got {self.coarse_view_kind!r}"
+            )
+        if self.protocols not in ("full", "refresh-only", "off"):
+            raise ValueError(
+                f"protocols must be 'full', 'refresh-only' or 'off', got {self.protocols!r}"
+            )
+
+    @property
+    def horizon(self) -> float:
+        return self.epochs * self.epoch_seconds
+
+
+class AvmemSimulation:
+    """A fully wired AVMEM system over a synthetic Overnet trace."""
+
+    def __init__(self, settings: Optional[SimulationSettings] = None):
+        self.settings = settings if settings is not None else SimulationSettings()
+        self._router = RandomRouter(self.settings.seed)
+        self._build()
+        self._ready = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        s = self.settings
+        self.node_ids: List[NodeId] = make_node_ids(s.hosts)
+        trace_config = OvernetTraceConfig(
+            hosts=s.hosts,
+            epochs=s.epochs,
+            epoch_seconds=s.epoch_seconds,
+            diurnal_amplitude=s.diurnal_amplitude,
+            diurnal_fraction=s.diurnal_fraction,
+        )
+        self.trace: ChurnTrace = generate_overnet_trace(
+            node_keys=self.node_ids, config=trace_config, rng=self._router.get("churn")
+        )
+        self.sim = Simulator()
+        self.network = Network(
+            self.sim,
+            latency=PAPER_HOP_LATENCY,
+            presence=self.trace,
+            rng=self._router.get("latency"),
+        )
+        self.oracle = OracleAvailability(
+            self.trace,
+            self.sim,
+            window=s.config.availability_window,
+            noise_std=s.monitor_noise_std,
+            quantization=s.monitor_quantization,
+            seed=s.seed,
+        )
+        # The "crawler's" offline PDF: lifetime availabilities of all hosts.
+        lifetime = [self.trace.lifetime_availability(n) for n in self.node_ids]
+        self.pdf = AvailabilityPdf.from_samples(lifetime, bins=s.config.pdf_bins)
+        self.predicate = self._make_predicate(lifetime)
+        view_size = s.config.view_size_for(self.pdf.n_star)
+        if s.coarse_view_kind == "global":
+            self.coarse_view = GlobalSampleView(
+                self.sim,
+                self.node_ids,
+                view_size,
+                rng=self._router.get("coarse-view"),
+                presence=self.trace,
+                period=s.config.discovery_period,
+            )
+        else:
+            self.coarse_view = ShuffledCoarseView(
+                self.sim,
+                self.node_ids,
+                view_size,
+                rng=self._router.get("coarse-view"),
+                presence=self.trace,
+                period=s.config.discovery_period,
+            )
+        self.nodes: Dict[NodeId, AvmemNode] = {}
+        for node_id in self.node_ids:
+            cache = CachedAvailabilityView(self.oracle, self.sim)
+            self.nodes[node_id] = AvmemNode(
+                node_id,
+                self.sim,
+                self.network,
+                self.predicate,
+                s.config,
+                availability_view=cache,
+                coarse_view=self.coarse_view,
+                rng=self._router.get(f"node:{node_id.endpoint}"),
+            )
+        self.engine = OperationEngine(
+            self.sim,
+            self.network,
+            self.nodes,
+            s.config,
+            truth_availability=self.true_availability,
+            rng=self._router.get("ops"),
+            verify_inbound=s.verify_inbound,
+        )
+
+    def _make_predicate(self, lifetime: Sequence[float]) -> AvmemPredicate:
+        s = self.settings
+        base = paper_predicate(
+            self.pdf, epsilon=s.config.epsilon, c1=s.config.c1, c2=s.config.c2
+        )
+        if s.predicate_kind == "paper":
+            return base
+        descriptors = [
+            NodeDescriptor(node, av) for node, av in zip(self.node_ids, lifetime)
+        ]
+        return degree_matched_random_predicate(base, descriptors)
+
+    # ------------------------------------------------------------------
+    # Ground truth accessors
+    # ------------------------------------------------------------------
+    def true_availability(self, node: NodeId) -> float:
+        """Exact raw availability of ``node`` as of the current sim time."""
+        return self.trace.availability(node, self.sim.now)
+
+    def online_ids(self) -> List[NodeId]:
+        return self.trace.online_nodes(self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Setup / warm-up
+    # ------------------------------------------------------------------
+    def setup(self, warmup: float = 86400.0, settle: float = 3600.0) -> None:
+        """Warm the system up to ``warmup`` seconds of trace time.
+
+        In ``protocol`` mode the discovery/refresh loops run through the
+        whole warm-up.  In ``direct`` mode the overlay is materialized
+        from the consistent predicate at ``warmup − settle``, after which
+        the configured protocol loops run through the ``settle`` window —
+        so by ``warmup`` the lists and caches exhibit the realistic
+        staleness profile (entries whose nodes have since gone offline,
+        availability values up to one refresh period old) that the
+        paper's retried-greedy and attack experiments depend on.
+        """
+        if self._ready:
+            raise RuntimeError("setup() already ran for this simulation")
+        s = self.settings
+        if warmup >= self.trace.horizon:
+            raise ValueError(
+                f"warmup {warmup} must leave trace time for experiments "
+                f"(horizon {self.trace.horizon})"
+            )
+        if settle < 0 or settle > warmup:
+            raise ValueError(f"settle must be in [0, warmup], got {settle}")
+        if s.bootstrap == "protocol":
+            self._start_protocols(s.protocols if s.protocols != "off" else "full")
+            self.sim.run_until(warmup)
+        else:
+            self.sim.run_until(warmup - settle)
+            self._direct_bootstrap()
+            if s.protocols != "off":
+                self._start_protocols(s.protocols)
+            self.sim.run_until(warmup)
+        self._ready = True
+
+    def _start_protocols(self, which: str) -> None:
+        for node in self.nodes.values():
+            if which == "full":
+                node.start()
+            else:  # refresh-only
+                from repro.sim.engine import PeriodicTask
+
+                delay = float(node.rng.uniform(0, self.settings.config.refresh_period))
+                node._tasks.append(
+                    PeriodicTask(
+                        self.sim,
+                        self.settings.config.refresh_period,
+                        node.refresh_step,
+                        start_delay=delay,
+                    )
+                )
+        self._schedule_rejoin_refreshes()
+
+    def _schedule_rejoin_refreshes(self) -> None:
+        """Run a refresh right after every rejoin.
+
+        While a node is offline its lists decay unchecked; a real process
+        re-validates its neighbor state on restart rather than serving
+        hours-stale entries until the next periodic refresh.  The trace
+        is known ahead of time, so we schedule one refresh shortly after
+        each online-session start (a small jitter models restart work).
+        """
+        now = self.sim.now
+        for node_id, node in self.nodes.items():
+            for start, __ in self.trace.schedule(node_id).intervals:
+                if start > now:
+                    jitter = float(node.rng.uniform(1.0, 15.0))
+                    self.sim.schedule_at(start + jitter, node.refresh_step)
+
+    def _direct_bootstrap(self) -> None:
+        """Materialize the overlay from the consistent predicate.
+
+        Every node evaluates the predicate against the *currently online*
+        population using the monitoring service's current estimates — the
+        candidates a long-running discovery process would have surfaced
+        through the (live-node-circulating) coarse view.  Later discovery
+        and refresh rounds keep evolving the lists from there.
+        """
+        online = set(self.online_ids())
+        candidates_all = [
+            NodeDescriptor(node, self.oracle.query(node))
+            for node in self.node_ids
+            if node in online
+        ]
+        for node_id, node in self.nodes.items():
+            # Prime the node's own availability cache with the service's
+            # current answer, then install predicate matches.
+            node.availability.fetch(node_id)
+            candidates = [d for d in candidates_all if d.node != node_id]
+            node.bootstrap_from(candidates)
+
+    # ------------------------------------------------------------------
+    # Operation helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def as_target(target: TargetLike) -> TargetSpec:
+        """Coerce ``(lo, hi)`` tuples / bare thresholds / specs."""
+        if isinstance(target, TargetSpec):
+            return target
+        if isinstance(target, tuple):
+            return TargetSpec.range(*target)
+        return TargetSpec.threshold(float(target))
+
+    def pick_initiator(
+        self, band: str, rng: Optional[np.random.Generator] = None
+    ) -> Optional[NodeId]:
+        """A random online node whose true availability is in the band."""
+        InitiatorBand.validate(band)
+        rng = rng if rng is not None else self._router.get("initiators")
+        candidates = [
+            node
+            for node in self.online_ids()
+            if InitiatorBand.contains(band, self.true_availability(node))
+        ]
+        if not candidates:
+            return None
+        return candidates[int(rng.integers(len(candidates)))]
+
+    def run_anycast(
+        self,
+        target: TargetLike,
+        initiator: Optional[NodeId] = None,
+        initiator_band: str = InitiatorBand.MID,
+        policy: str = "greedy",
+        selector: str = "hs+vs",
+        ttl: Optional[int] = None,
+        retry: Optional[int] = None,
+        settle: float = 30.0,
+    ) -> AnycastRecord:
+        """Launch one anycast, run the simulator until it settles, and
+        return the finalized record."""
+        self._require_ready()
+        if initiator is None:
+            initiator = self.pick_initiator(initiator_band)
+            if initiator is None:
+                raise RuntimeError(f"no online initiator in band {initiator_band!r}")
+        record = self.engine.anycast(
+            initiator, self.as_target(target), policy=policy, selector=selector,
+            ttl=ttl, retry=retry,
+        )
+        self.sim.run_until(self.sim.now + settle)
+        record.finalize()
+        return record
+
+    def run_multicast(
+        self,
+        target: TargetLike,
+        initiator: Optional[NodeId] = None,
+        initiator_band: str = InitiatorBand.HIGH,
+        mode: str = "flood",
+        selector: str = "hs+vs",
+        settle: float = 30.0,
+    ) -> MulticastRecord:
+        """Launch one multicast and run until it settles."""
+        self._require_ready()
+        if initiator is None:
+            initiator = self.pick_initiator(initiator_band)
+            if initiator is None:
+                raise RuntimeError(f"no online initiator in band {initiator_band!r}")
+        record = self.engine.multicast(
+            initiator, self.as_target(target), mode=mode, selector=selector
+        )
+        self.sim.run_until(self.sim.now + settle)
+        if record.anycast is not None:
+            record.anycast.finalize()
+        return record
+
+    def run_anycast_batch(
+        self,
+        count: int,
+        target: TargetLike,
+        initiator_band: str,
+        policy: str = "greedy",
+        selector: str = "hs+vs",
+        ttl: Optional[int] = None,
+        retry: Optional[int] = None,
+        spacing: float = 2.0,
+        settle: float = 30.0,
+    ) -> List[AnycastRecord]:
+        """Launch ``count`` anycasts ``spacing`` seconds apart (fresh
+        random initiator from the band each time), settle, finalize."""
+        self._require_ready()
+        records: List[AnycastRecord] = []
+        spec = self.as_target(target)
+        for __ in range(count):
+            initiator = self.pick_initiator(initiator_band)
+            if initiator is not None:
+                records.append(
+                    self.engine.anycast(
+                        initiator, spec, policy=policy, selector=selector,
+                        ttl=ttl, retry=retry,
+                    )
+                )
+            self.sim.run_until(self.sim.now + spacing)
+        self.sim.run_until(self.sim.now + settle)
+        for record in records:
+            record.finalize()
+        return records
+
+    def run_multicast_batch(
+        self,
+        count: int,
+        target: TargetLike,
+        initiator_band: str,
+        mode: str = "flood",
+        selector: str = "hs+vs",
+        spacing: float = 5.0,
+        settle: float = 30.0,
+    ) -> List[MulticastRecord]:
+        """Launch ``count`` multicasts ``spacing`` seconds apart."""
+        self._require_ready()
+        records: List[MulticastRecord] = []
+        spec = self.as_target(target)
+        for __ in range(count):
+            initiator = self.pick_initiator(initiator_band)
+            if initiator is not None:
+                records.append(
+                    self.engine.multicast(initiator, spec, mode=mode, selector=selector)
+                )
+            self.sim.run_until(self.sim.now + spacing)
+        self.sim.run_until(self.sim.now + settle)
+        for record in records:
+            if record.anycast is not None:
+                record.anycast.finalize()
+        return records
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def online_nodes(self) -> List[AvmemNode]:
+        return [self.nodes[node_id] for node_id in self.online_ids()]
+
+    def _require_ready(self) -> None:
+        if not self._ready:
+            raise RuntimeError("call setup() before running operations")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AvmemSimulation(hosts={self.settings.hosts}, now={self.sim.now:.0f}s, "
+            f"online={len(self.online_ids()) if self._ready else '?'})"
+        )

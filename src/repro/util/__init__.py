@@ -1,0 +1,41 @@
+"""Shared utilities: seeded randomness, validation, numeric helpers."""
+
+from repro.util.mathx import (
+    clamp,
+    empirical_cdf,
+    interval_distance,
+    interval_overlap,
+    log_at_least_one,
+    mean_or_nan,
+    point_to_interval_distance,
+    quantile,
+)
+from repro.util.randomness import RandomRouter, derive_seed, stream
+from repro.util.validation import (
+    check_fraction_interval,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_range,
+    check_unit_interval,
+)
+
+__all__ = [
+    "RandomRouter",
+    "derive_seed",
+    "stream",
+    "clamp",
+    "empirical_cdf",
+    "interval_distance",
+    "interval_overlap",
+    "log_at_least_one",
+    "mean_or_nan",
+    "point_to_interval_distance",
+    "quantile",
+    "check_fraction_interval",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_range",
+    "check_unit_interval",
+]

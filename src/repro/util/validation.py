@@ -1,0 +1,67 @@
+"""Small argument-validation helpers shared across the library.
+
+These raise ``ValueError``/``TypeError`` with uniform, greppable messages.
+They exist so that configuration mistakes fail loudly at construction time
+instead of surfacing as silent mis-simulation hours later.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+__all__ = [
+    "check_probability",
+    "check_unit_interval",
+    "check_positive",
+    "check_non_negative",
+    "check_range",
+    "check_fraction_interval",
+]
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` is a probability in [0, 1]."""
+    value = float(value)
+    if math.isnan(value) or not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return value
+
+
+def check_unit_interval(value: float, name: str) -> float:
+    """Validate that ``value`` lies in [0, 1] (availabilities, hash outputs)."""
+    return check_probability(value, name)
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive and finite."""
+    value = float(value)
+    if math.isnan(value) or math.isinf(value) or value <= 0.0:
+        raise ValueError(f"{name} must be positive and finite, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is >= 0 and finite."""
+    value = float(value)
+    if math.isnan(value) or math.isinf(value) or value < 0.0:
+        raise ValueError(f"{name} must be non-negative and finite, got {value!r}")
+    return value
+
+
+def check_range(lo: float, hi: float, name: str) -> Tuple[float, float]:
+    """Validate an ordered pair ``lo <= hi``, both finite."""
+    lo, hi = float(lo), float(hi)
+    if math.isnan(lo) or math.isnan(hi) or math.isinf(lo) or math.isinf(hi):
+        raise ValueError(f"{name} bounds must be finite, got ({lo!r}, {hi!r})")
+    if lo > hi:
+        raise ValueError(f"{name} must satisfy lo <= hi, got ({lo!r}, {hi!r})")
+    return lo, hi
+
+
+def check_fraction_interval(lo: float, hi: float, name: str) -> Tuple[float, float]:
+    """Validate an availability interval ``[lo, hi] ⊆ [0, 1]``."""
+    lo, hi = check_range(lo, hi, name)
+    if lo < 0.0 or hi > 1.0:
+        raise ValueError(f"{name} must lie within [0, 1], got ({lo!r}, {hi!r})")
+    return lo, hi

@@ -1,0 +1,47 @@
+"""Shared fixtures for the AVMEM reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.availability import AvailabilityPdf
+from repro.core.ids import make_node_ids
+from repro.core.predicates import NodeDescriptor, paper_predicate
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_population(rng):
+    """(descriptors, pdf, predicate) for a 120-node synthetic population."""
+    ids = make_node_ids(120)
+    availabilities = rng.uniform(0.02, 0.98, size=120)
+    pdf = AvailabilityPdf.from_samples(availabilities)
+    descriptors = [
+        NodeDescriptor(node, float(av)) for node, av in zip(ids, availabilities)
+    ]
+    predicate = paper_predicate(pdf)
+    return descriptors, pdf, predicate
+
+
+@pytest.fixture(scope="session")
+def small_simulation():
+    """A warmed-up small-scale simulation shared by integration tests.
+
+    Session-scoped because setup costs seconds; tests that mutate state
+    (run operations) consume trace time monotonically, which the 32-hour
+    small-scale horizon comfortably absorbs.
+    """
+    from repro.experiments.harness import build_simulation
+
+    return build_simulation(scale="small", seed=42)

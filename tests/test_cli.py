@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_figure_command(self):
+        args = build_parser().parse_args(["figure", "fig7", "--scale", "small"])
+        assert args.command == "figure"
+        assert args.figure_id == "fig7"
+        assert args.scale == "small"
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_trace_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_trace_generation_text(self, tmp_path, capsys):
+        out = tmp_path / "t.txt"
+        code = main([
+            "trace", "--hosts", "40", "--epochs", "12", "--seed", "4",
+            "--out", str(out),
+        ])
+        assert code == 0
+        assert out.exists()
+        captured = capsys.readouterr().out
+        assert "mean_availability" in captured
+
+    def test_trace_generation_npz(self, tmp_path):
+        out = tmp_path / "t.npz"
+        assert main([
+            "trace", "--hosts", "40", "--epochs", "12", "--out", str(out),
+        ]) == 0
+        from repro.churn.loader import load_trace_npz
+
+        trace = load_trace_npz(out)
+        assert trace.node_count == 40
+
+    def test_snapshot_command(self, capsys):
+        assert main(["snapshot", "--scale", "small", "--seed", "6"]) == 0
+        captured = capsys.readouterr().out
+        assert "online nodes" in captured
+        assert "band" in captured
+
+    def test_figure_command_runs(self, capsys):
+        assert main(["figure", "fig3", "--scale", "small", "--seed", "6"]) == 0
+        captured = capsys.readouterr().out
+        assert "fig3" in captured
+        assert "slope" in captured

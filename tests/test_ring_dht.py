@@ -1,0 +1,128 @@
+"""Unit tests for the availability-keyed ring DHT baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.ids import make_node_ids
+from repro.overlays.ring_dht import AvailabilityRing
+
+
+@pytest.fixture
+def ring():
+    ring = AvailabilityRing()
+    ids = make_node_ids(10)
+    for i, node in enumerate(ids):
+        ring.join(node, (i + 0.5) / 10.0)  # keys 0.05, 0.15, ..., 0.95
+    return ring, ids
+
+
+class TestMembership:
+    def test_join_and_position(self, ring):
+        dht, ids = ring
+        assert len(dht) == 10
+        assert dht.position(ids[3]) == pytest.approx(0.35)
+        assert ids[3] in dht
+
+    def test_double_join_rejected(self, ring):
+        dht, ids = ring
+        with pytest.raises(ValueError):
+            dht.join(ids[0], 0.5)
+
+    def test_leave(self, ring):
+        dht, ids = ring
+        dht.leave(ids[0])
+        assert len(dht) == 9
+        assert ids[0] not in dht
+        with pytest.raises(KeyError):
+            dht.leave(ids[0])
+
+    def test_members_sorted_by_key(self, ring):
+        dht, ids = ring
+        keys = [dht.position(n) for n in dht.members()]
+        assert keys == sorted(keys)
+
+    def test_invalid_key_rejected(self):
+        dht = AvailabilityRing()
+        with pytest.raises(ValueError):
+            dht.join(make_node_ids(1)[0], 1.5)
+
+
+class TestRekeying:
+    def test_small_drift_does_not_rekey(self, ring):
+        dht, ids = ring
+        assert not dht.update_key(ids[0], 0.055)
+        assert dht.rekey_events == 0
+        assert dht.position(ids[0]) == pytest.approx(0.05)  # unchanged
+
+    def test_large_drift_rekeys(self, ring):
+        dht, ids = ring
+        assert dht.update_key(ids[0], 0.72)
+        assert dht.rekey_events == 1
+        assert dht.position(ids[0]) == pytest.approx(0.72)
+        keys = [dht.position(n) for n in dht.members()]
+        assert keys == sorted(keys)  # ring order restored
+
+    def test_update_unknown_raises(self, ring):
+        dht, _ = ring
+        with pytest.raises(KeyError):
+            dht.update_key(make_node_ids(20)[19], 0.5)
+
+
+class TestRouting:
+    def test_successor_ownership(self, ring):
+        dht, ids = ring
+        # Key 0.30 is owned by the node at 0.35.
+        assert dht.members()[dht.successor_index(0.30)] == ids[3]
+        # Key past the last node wraps to the first.
+        assert dht.members()[dht.successor_index(0.99)] == ids[0]
+
+    def test_lookup_reaches_owner(self, ring):
+        dht, ids = ring
+        result = dht.lookup(ids[0], 0.62)
+        assert result.node == ids[6]
+        assert result.hops >= 1
+
+    def test_lookup_hops_logarithmic(self):
+        dht = AvailabilityRing()
+        ids = make_node_ids(256)
+        rng = np.random.default_rng(5)
+        for node in ids:
+            dht.join(node, float(rng.uniform(0, 1)))
+        hops = [dht.lookup(ids[0], float(k)).hops for k in rng.uniform(0, 1, 50)]
+        assert max(hops) <= 9  # ~log2(256) + slack
+
+    def test_lookup_self_owned_zero_hops(self, ring):
+        dht, ids = ring
+        result = dht.lookup(ids[3], 0.33)
+        assert result.node == ids[3]
+        assert result.hops == 0
+
+    def test_empty_ring_lookup_raises(self):
+        dht = AvailabilityRing()
+        ids = make_node_ids(1)
+        with pytest.raises(KeyError):
+            dht.lookup(ids[0], 0.5)
+
+
+class TestRangeWalk:
+    def test_covers_exactly_the_range(self, ring):
+        dht, ids = ring
+        reached, hops = dht.range_walk(ids[0], 0.30, 0.60)
+        assert set(reached) == {ids[3], ids[4], ids[5]}
+
+    def test_linear_cost_in_members(self):
+        dht = AvailabilityRing()
+        ids = make_node_ids(200)
+        rng = np.random.default_rng(6)
+        for node in ids:
+            dht.join(node, float(rng.uniform(0, 1)))
+        reached, hops = dht.range_walk(ids[0], 0.2, 0.8)
+        # Successor walking costs at least one hop per covered member —
+        # the linearity the paper objects to.
+        assert hops >= len(reached)
+        assert len(reached) > 50
+
+    def test_empty_range(self, ring):
+        dht, ids = ring
+        reached, _ = dht.range_walk(ids[0], 0.06, 0.09)
+        assert reached == []

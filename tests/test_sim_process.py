@@ -1,0 +1,154 @@
+"""Unit tests for the generator-process layer."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.process import spawn
+
+
+class TestProcessExecution:
+    def test_sequential_delays(self, sim):
+        log = []
+
+        def proc():
+            log.append(sim.now)
+            yield 5.0
+            log.append(sim.now)
+            yield 2.5
+            log.append(sim.now)
+
+        spawn(sim, proc())
+        sim.run()
+        assert log == [0.0, 5.0, 7.5]
+
+    def test_initial_spawn_delay(self, sim):
+        log = []
+
+        def proc():
+            log.append(sim.now)
+            yield 1.0
+
+        spawn(sim, proc(), delay=3.0)
+        sim.run()
+        assert log == [3.0]
+
+    def test_return_value_captured(self, sim):
+        def proc():
+            yield 1.0
+            return "done"
+
+        process = spawn(sim, proc())
+        sim.run()
+        assert process.done
+        assert process.result == "done"
+
+    def test_on_done_callback(self, sim):
+        finished = []
+
+        def proc():
+            yield 1.0
+            return 42
+
+        spawn(sim, proc(), on_done=lambda p: finished.append(p.result))
+        sim.run()
+        assert finished == [42]
+
+    def test_zero_delay_yields_allowed(self, sim):
+        log = []
+
+        def proc():
+            yield 0.0
+            log.append(sim.now)
+
+        spawn(sim, proc())
+        sim.run()
+        assert log == [0.0]
+
+    def test_two_processes_interleave(self, sim):
+        log = []
+
+        def proc(tag, delay):
+            for _ in range(3):
+                yield delay
+                log.append((tag, sim.now))
+
+        spawn(sim, proc("fast", 1.0))
+        spawn(sim, proc("slow", 2.0))
+        sim.run()
+        assert log == [
+            ("fast", 1.0),
+            ("slow", 2.0),  # slow's t=2 resume was scheduled first
+            ("fast", 2.0),
+            ("fast", 3.0),
+            ("slow", 4.0),
+            ("slow", 6.0),
+        ]
+
+
+class TestProcessErrors:
+    def test_negative_yield_raises(self, sim):
+        def proc():
+            yield -1.0
+
+        spawn(sim, proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_non_numeric_yield_raises(self, sim):
+        def proc():
+            yield "soon"
+
+        spawn(sim, proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_exception_propagates(self, sim):
+        def proc():
+            yield 1.0
+            raise ValueError("boom")
+
+        spawn(sim, proc())
+        with pytest.raises(ValueError, match="boom"):
+            sim.run()
+
+
+class TestInterrupt:
+    def test_interrupt_stops_process(self, sim):
+        log = []
+
+        def proc():
+            while True:
+                yield 1.0
+                log.append(sim.now)
+
+        process = spawn(sim, proc())
+        sim.run_until(3.5)
+        process.interrupt()
+        sim.run_until(10.0)
+        assert log == [1.0, 2.0, 3.0]
+        assert process.done
+
+    def test_interrupt_runs_finally(self, sim):
+        cleaned = []
+
+        def proc():
+            try:
+                while True:
+                    yield 1.0
+            finally:
+                cleaned.append(True)
+
+        process = spawn(sim, proc())
+        sim.run_until(2.0)
+        process.interrupt()
+        assert cleaned == [True]
+
+    def test_interrupt_after_done_is_noop(self, sim):
+        def proc():
+            yield 1.0
+            return 5
+
+        process = spawn(sim, proc())
+        sim.run()
+        process.interrupt()
+        assert process.result == 5

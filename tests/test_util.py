@@ -1,0 +1,183 @@
+"""Unit + property tests for the util package."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.mathx import (
+    clamp,
+    empirical_cdf,
+    interval_distance,
+    interval_overlap,
+    log_at_least_one,
+    mean_or_nan,
+    point_to_interval_distance,
+    quantile,
+)
+from repro.util.randomness import RandomRouter, derive_seed, stream
+from repro.util.validation import (
+    check_fraction_interval,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_range,
+)
+
+
+class TestRandomness:
+    def test_streams_memoized(self):
+        router = RandomRouter(seed=7)
+        assert router.get("a") is router.get("a")
+        assert router.get("a") is not router.get("b")
+
+    def test_deterministic_across_routers(self):
+        a = RandomRouter(seed=7).get("churn").random(5)
+        b = RandomRouter(seed=7).get("churn").random(5)
+        assert np.allclose(a, b)
+
+    def test_streams_independent(self):
+        router = RandomRouter(seed=7)
+        a = router.get("x").random(5)
+        b = router.get("y").random(5)
+        assert not np.allclose(a, b)
+
+    def test_fork_changes_namespace(self):
+        base = RandomRouter(seed=7)
+        fork = base.fork("run-1")
+        assert fork.seed != base.seed
+        assert not np.allclose(base.get("s").random(3), fork.get("s").random(3))
+
+    def test_reset(self):
+        router = RandomRouter(seed=1)
+        first = router.get("a").random(3)
+        router.reset("a")
+        again = router.get("a").random(3)
+        assert np.allclose(first, again)
+
+    def test_reset_all(self):
+        router = RandomRouter(seed=1)
+        router.get("a")
+        router.get("b")
+        router.reset()
+        assert router.names() == ()
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(42, "x") == derive_seed(42, "x")
+        assert derive_seed(42, "x") != derive_seed(42, "y")
+        assert derive_seed(42, "x") != derive_seed(43, "x")
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            derive_seed(-1, "x")
+
+    def test_stream_function(self):
+        assert np.allclose(stream(5, "a").random(4), stream(5, "a").random(4))
+
+
+class TestIntervalMath:
+    def test_clamp(self):
+        assert clamp(5.0, 0.0, 1.0) == 1.0
+        assert clamp(-5.0, 0.0, 1.0) == 0.0
+        assert clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_overlap(self):
+        assert interval_overlap((0, 2), (1, 3)) == 1.0
+        assert interval_overlap((0, 1), (2, 3)) == 0.0
+        assert interval_overlap((0, 5), (1, 2)) == 1.0
+
+    def test_interval_distance(self):
+        assert interval_distance((0, 1), (2, 3)) == 1.0
+        assert interval_distance((2, 3), (0, 1)) == 1.0
+        assert interval_distance((0, 2), (1, 3)) == 0.0
+
+    def test_point_distance(self):
+        assert point_to_interval_distance(0.5, (0.2, 0.8)) == 0.0
+        assert point_to_interval_distance(0.1, (0.2, 0.8)) == pytest.approx(0.1)
+        assert point_to_interval_distance(0.9, (0.2, 0.8)) == pytest.approx(0.1)
+
+
+class TestStatistics:
+    def test_empirical_cdf(self):
+        xs, ps = empirical_cdf([3.0, 1.0, 2.0, 2.0])
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert list(ps) == pytest.approx([0.25, 0.75, 1.0])
+
+    def test_empirical_cdf_empty(self):
+        xs, ps = empirical_cdf([])
+        assert xs.size == 0 and ps.size == 0
+
+    def test_quantile(self):
+        assert quantile([1, 2, 3, 4], 0.5) == pytest.approx(2.5)
+        assert math.isnan(quantile([], 0.5))
+        with pytest.raises(ValueError):
+            quantile([1.0], 2.0)
+
+    def test_mean_or_nan(self):
+        assert mean_or_nan([1.0, 3.0]) == 2.0
+        assert math.isnan(mean_or_nan([]))
+
+    def test_log_at_least_one(self):
+        assert log_at_least_one(0.5) == 1.0
+        assert log_at_least_one(1.0) == 1.0
+        assert log_at_least_one(math.e**2) == pytest.approx(2.0)
+
+
+class TestValidation:
+    def test_probability(self):
+        assert check_probability(0.5, "p") == 0.5
+        for bad in (-0.1, 1.1, float("nan")):
+            with pytest.raises(ValueError):
+                check_probability(bad, "p")
+
+    def test_positive(self):
+        assert check_positive(2, "x") == 2.0
+        for bad in (0.0, -1.0, float("inf"), float("nan")):
+            with pytest.raises(ValueError):
+                check_positive(bad, "x")
+
+    def test_non_negative(self):
+        assert check_non_negative(0.0, "x") == 0.0
+        with pytest.raises(ValueError):
+            check_non_negative(-1e-9, "x")
+
+    def test_range(self):
+        assert check_range(1.0, 2.0, "r") == (1.0, 2.0)
+        with pytest.raises(ValueError):
+            check_range(2.0, 1.0, "r")
+        with pytest.raises(ValueError):
+            check_range(float("inf"), 1.0, "r")
+
+    def test_fraction_interval(self):
+        assert check_fraction_interval(0.2, 0.3, "f") == (0.2, 0.3)
+        with pytest.raises(ValueError):
+            check_fraction_interval(-0.1, 0.3, "f")
+        with pytest.raises(ValueError):
+            check_fraction_interval(0.2, 1.3, "f")
+
+
+@given(
+    point=st.floats(-10, 10),
+    lo=st.floats(-10, 10),
+    hi=st.floats(-10, 10),
+)
+@settings(max_examples=80, deadline=None)
+def test_point_distance_properties(point, lo, hi):
+    lo, hi = min(lo, hi), max(lo, hi)
+    distance = point_to_interval_distance(point, (lo, hi))
+    assert distance >= 0.0
+    if lo <= point <= hi:
+        assert distance == 0.0
+    else:
+        assert distance == pytest.approx(min(abs(point - lo), abs(point - hi)))
+
+
+@given(samples=st.lists(st.floats(-100, 100), min_size=1, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_empirical_cdf_properties(samples):
+    xs, ps = empirical_cdf(samples)
+    assert np.all(np.diff(xs) > 0)
+    assert np.all(np.diff(ps) >= -1e-12)
+    assert ps[-1] == pytest.approx(1.0)
