@@ -1,0 +1,127 @@
+"""Overlay-construction scaling sweep: legacy networkx path vs the
+array-backed :class:`~repro.overlays.graphs.OverlayGraph`.
+
+Sweeps N ∈ {1k, 5k, 20k} (override with ``--sizes``) and times three
+construction strategies over the same descriptor population:
+
+* ``legacy``  — the seed implementation: one ``evaluate_many`` call per
+  source row, per-edge inserts into a ``networkx.DiGraph``;
+* ``array``   — ``OverlayGraph.build`` (block-tiled ``evaluate_all``);
+* ``adapter`` — ``OverlayGraph.build(...).to_networkx()``, what the
+  compatibility wrapper :func:`build_overlay_graph` now does.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_overlay_scale.py
+    PYTHONPATH=src python benchmarks/bench_overlay_scale.py --sizes 1000 5000
+
+The acceptance bar for the array backend is a ≥ 5× construction speedup
+over the legacy path at N = 20k; a parity check (edge count + per-kind
+counts) runs at the smallest size on every invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import List, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.core.availability import AvailabilityPdf
+from repro.core.ids import NodeId, make_node_ids
+from repro.core.predicates import AvmemPredicate, NodeDescriptor, SliverKind
+from repro.overlays.graphs import OverlayGraph
+
+DEFAULT_SIZES = (1_000, 5_000, 20_000)
+
+
+def legacy_build(
+    descriptors: Sequence[NodeDescriptor],
+    predicate: AvmemPredicate,
+    cushion: float = 0.0,
+) -> nx.DiGraph:
+    """The seed ``build_overlay_graph``: vectorized per source row, with
+    per-edge Python inserts into networkx."""
+    ids: List[NodeId] = [d.node for d in descriptors]
+    avs = np.array([d.availability for d in descriptors], dtype=float)
+    graph = nx.DiGraph()
+    for descriptor in descriptors:
+        graph.add_node(descriptor.node, availability=descriptor.availability)
+    for source in descriptors:
+        member, horizontal = predicate.evaluate_many(source, ids, avs, cushion=cushion)
+        for j in np.flatnonzero(member):
+            kind = SliverKind.HORIZONTAL if horizontal[j] else SliverKind.VERTICAL
+            graph.add_edge(source.node, ids[j], kind=kind)
+    return graph
+
+
+def make_population(n: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    ids = make_node_ids(n)
+    avs = np.clip(rng.beta(4.0, 1.5, n), 0.01, 0.99)
+    pdf = AvailabilityPdf.from_samples(avs, online_weighted=False)
+    from repro.core.predicates import paper_predicate
+
+    return (
+        [NodeDescriptor(node, float(a)) for node, a in zip(ids, avs)],
+        paper_predicate(pdf),
+    )
+
+
+def timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def check_parity(descriptors, predicate) -> None:
+    graph, _ = timed(legacy_build, descriptors, predicate)
+    overlay, _ = timed(OverlayGraph.build, descriptors, predicate)
+    adapted = overlay.to_networkx()
+    assert set(adapted.edges) == set(graph.edges), "edge-set parity violated"
+    for src, dst in graph.edges:
+        assert adapted.edges[src, dst]["kind"] is graph.edges[src, dst]["kind"], (
+            "edge-kind parity violated"
+        )
+    print(
+        f"parity OK at N={len(descriptors)}: "
+        f"{graph.number_of_edges()} identical edges/kinds"
+    )
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES),
+        help="population sizes to sweep",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--skip-legacy-above", type=int, default=50_000,
+        help="skip the O(N^2)-with-Python-constants legacy path above this N",
+    )
+    args = parser.parse_args(argv)
+
+    check_parity(*make_population(min(args.sizes), seed=args.seed))
+    print(f"{'N':>8} {'legacy_s':>10} {'array_s':>10} {'adapter_s':>10} "
+          f"{'speedup':>8} {'edges':>10}")
+    for n in args.sizes:
+        descriptors, predicate = make_population(n, seed=args.seed)
+        overlay, array_s = timed(OverlayGraph.build, descriptors, predicate)
+        _, adapter_s = timed(lambda: overlay.to_networkx())
+        if n <= args.skip_legacy_above:
+            _, legacy_s = timed(legacy_build, descriptors, predicate)
+            speedup = f"{legacy_s / array_s:7.1f}x"
+            legacy_repr = f"{legacy_s:10.3f}"
+        else:
+            speedup, legacy_repr = "      —", "         —"
+        print(
+            f"{n:>8} {legacy_repr} {array_s:10.3f} {adapter_s:10.3f} "
+            f"{speedup:>8} {overlay.number_of_edges:>10}"
+        )
+
+
+if __name__ == "__main__":
+    main()

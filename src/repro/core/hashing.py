@@ -54,9 +54,22 @@ class PairwiseHash(abc.ABC):
         digest-mixing hashes can vectorize; string hashes must loop."""
         raise NotImplementedError(f"{self.name} hash does not support vectorized evaluation")
 
+    def value_matrix(self, digests_x: np.ndarray, digests_y: np.ndarray) -> np.ndarray:
+        """Fully-batched pairwise digest matrix: ``H(x_i, y_j)`` for every
+        ordered pair, shape ``(len(digests_x), len(digests_y))``.
+
+        Powers the block-tiled overlay construction in
+        :meth:`repro.core.predicates.AvmemPredicate.evaluate_all`.  Only
+        digest-mixing hashes can batch; string hashes must loop."""
+        raise NotImplementedError(f"{self.name} hash does not support matrix evaluation")
+
     @property
     def supports_vectorized(self) -> bool:
         return type(self).value_many is not PairwiseHash.value_many
+
+    @property
+    def supports_matrix(self) -> bool:
+        return type(self).value_matrix is not PairwiseHash.value_matrix
 
 
 def _mix64_int(z: int) -> int:
@@ -104,6 +117,19 @@ class Mix64PairHash(PairwiseHash):
         with np.errstate(over="ignore"):
             inner = _mix64_array(digests_y)
             shifted = (np.uint64(x.digest64) + inner + np.uint64(self.salt)).astype(np.uint64)
+            outer = _mix64_array(shifted)
+        return outer.astype(np.float64) / _U64_SCALE
+
+    def value_matrix(self, digests_x: np.ndarray, digests_y: np.ndarray) -> np.ndarray:
+        digests_x = np.asarray(digests_x, dtype=np.uint64)
+        digests_y = np.asarray(digests_y, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            # The inner mix depends only on y: compute it once per column
+            # and broadcast against the source digests.
+            inner = _mix64_array(digests_y)
+            shifted = (
+                digests_x[:, None] + inner[None, :] + np.uint64(self.salt)
+            ).astype(np.uint64)
             outer = _mix64_array(shifted)
         return outer.astype(np.float64) / _U64_SCALE
 

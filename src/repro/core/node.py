@@ -203,14 +203,34 @@ class AvmemNode:
         ids = [c.node for c in candidates]
         avs = np.array([c.availability for c in candidates], dtype=float)
         member, horizontal = self.predicate.evaluate_many(me, ids, avs)
+        selected = np.flatnonzero(member)
+        return self.install_members(
+            [ids[i] for i in selected], avs[selected], horizontal[selected]
+        )
+
+    def install_members(
+        self,
+        ids: Sequence[NodeId],
+        availabilities: np.ndarray,
+        horizontal_flags: np.ndarray,
+    ) -> int:
+        """Bulk-install already-evaluated predicate matches.
+
+        The three sequences are parallel: one neighbor per entry, with
+        ``horizontal_flags`` giving the sliver classification.  This is
+        the shared sink for :meth:`bootstrap_from` and for the batched
+        whole-population bootstrap the simulation computes with
+        ``AvmemPredicate.evaluate_all`` (one CSR row per node) — the
+        predicate work is already done, only list insertion remains.
+        Returns the number of neighbors installed.
+        """
         now = self.sim.now
-        added = 0
-        for i in np.flatnonzero(member):
-            descriptor = candidates[i]
-            kind = SliverKind.HORIZONTAL if horizontal[i] else SliverKind.VERTICAL
-            self.lists.upsert(descriptor.node, descriptor.availability, kind, now)
-            added += 1
-        return added
+        for node, availability, is_horizontal in zip(
+            ids, availabilities, horizontal_flags
+        ):
+            kind = SliverKind.HORIZONTAL if is_horizontal else SliverKind.VERTICAL
+            self.lists.upsert(node, float(availability), kind, now)
+        return len(ids)
 
     # ------------------------------------------------------------------
     # Messaging

@@ -36,6 +36,7 @@ from repro.core.slivers import (
     LogarithmicVertical,
     RandomUniformRule,
     VerticalSliverRule,
+    has_matrix_threshold,
 )
 from repro.util.validation import check_positive, check_probability, check_unit_interval
 
@@ -174,6 +175,102 @@ class AvmemPredicate:
             if y == x.node:
                 member[i] = False
         return member, horizontal_mask
+
+    def evaluate_all(
+        self,
+        ids: Sequence[NodeId],
+        availabilities: np.ndarray,
+        cushion: float = 0.0,
+        block_rows: int = 256,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Evaluate ``M(x_i, y_j)`` for the entire population at once.
+
+        Computes the full N×N hash/threshold comparison in numpy blocks
+        of ``block_rows`` source rows (tiling bounds peak memory at
+        ``O(block_rows · N)``), instead of one :meth:`evaluate_many` call
+        per source row.  Because the predicate is consistent this is the
+        whole overlay in one call — the engine behind the array-backed
+        :class:`~repro.overlays.graphs.OverlayGraph`.
+
+        Returns ``(src_indices, dst_indices, horizontal)``: parallel
+        arrays with one entry per member edge, sorted by source then
+        destination index; ``horizontal`` flags the sliver kind.  The
+        diagonal (a node is never its own neighbor) is excluded; ``ids``
+        must be unique.  Falls back to a scalar hash loop per row for
+        non-vectorizable hashes.
+        """
+        check_probability(cushion, "cushion")
+        availabilities = np.asarray(availabilities, dtype=float)
+        n = len(ids)
+        if availabilities.size != n:
+            raise ValueError(
+                f"{n} ids but {availabilities.size} availabilities"
+            )
+        if len(set(ids)) != n:
+            raise ValueError("ids must be unique")
+        if block_rows <= 0:
+            raise ValueError(f"block_rows must be positive, got {block_rows}")
+        digests = digest_array(ids)
+        use_matrix_hash = self.hash_fn.supports_matrix
+        # Rules with closed-form matrix thresholds are total functions and
+        # can be evaluated over the full grid; rules that only define the
+        # scalar/row forms (application FunctionRules) may be partial —
+        # e.g. a distance-decaying vertical rule is undefined in-band —
+        # so they get the masked row evaluation evaluate_many performs.
+        use_matrix_thresholds = has_matrix_threshold(
+            self.horizontal
+        ) and has_matrix_threshold(self.vertical)
+        src_chunks = []
+        dst_chunks = []
+        horizontal_chunks = []
+        for start in range(0, n, block_rows):
+            stop = min(start + block_rows, n)
+            av_block = availabilities[start:stop]
+            h_mask = np.abs(av_block[:, None] - availabilities[None, :]) < self.epsilon
+            if use_matrix_thresholds:
+                thresholds = np.where(
+                    h_mask,
+                    self.horizontal.threshold_matrix(av_block, availabilities, self.pdf),
+                    self.vertical.threshold_matrix(av_block, availabilities, self.pdf),
+                )
+            else:
+                thresholds = np.empty(h_mask.shape, dtype=float)
+                for r in range(stop - start):
+                    row_h = h_mask[r]
+                    if row_h.any():
+                        thresholds[r, row_h] = self.horizontal.threshold_many(
+                            float(av_block[r]), availabilities[row_h], self.pdf
+                        )
+                    row_v = ~row_h
+                    if row_v.any():
+                        thresholds[r, row_v] = self.vertical.threshold_many(
+                            float(av_block[r]), availabilities[row_v], self.pdf
+                        )
+            if cushion:
+                thresholds = np.minimum(1.0, thresholds + cushion)
+            if use_matrix_hash:
+                hashes = self.hash_fn.value_matrix(digests[start:stop], digests)
+            else:
+                hashes = np.array(
+                    [[self.hash_fn.value(ids[i], y) for y in ids]
+                     for i in range(start, stop)]
+                )
+            member = hashes <= thresholds
+            # Mask the diagonal: a node is never its own neighbor.
+            rows = np.arange(start, stop)
+            member[rows - start, rows] = False
+            block_src, block_dst = np.nonzero(member)
+            src_chunks.append((block_src + start).astype(np.int64))
+            dst_chunks.append(block_dst.astype(np.int64))
+            horizontal_chunks.append(h_mask[member])
+        if not src_chunks:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), np.empty(0, dtype=bool)
+        return (
+            np.concatenate(src_chunks),
+            np.concatenate(dst_chunks),
+            np.concatenate(horizontal_chunks),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -45,6 +45,7 @@ from repro.util.validation import check_positive, check_probability
 __all__ = [
     "VerticalSliverRule",
     "HorizontalSliverRule",
+    "has_matrix_threshold",
     "ConstantVertical",
     "LogarithmicVertical",
     "LogarithmicDecreasingVertical",
@@ -73,6 +74,36 @@ class _Rule(abc.ABC):
         """Vectorized thresholds for many candidate neighbors (default:
         loop; subclasses override with closed-form array math)."""
         return np.array([self.threshold(av_x, float(a), pdf) for a in av_ys])
+
+    def threshold_matrix(
+        self, av_xs: np.ndarray, av_ys: np.ndarray, pdf: AvailabilityPdf
+    ) -> np.ndarray:
+        """Fully-batched thresholds for a block of sources against all
+        candidates at once.
+
+        Must return an array broadcastable to ``(len(av_xs), len(av_ys))``
+        — rules that depend on only one operand may return a column
+        (``(B, 1)``), a row (``(1, N)``), or a scalar array.  The default
+        stacks :meth:`threshold_many` per source row; the concrete rules
+        override it with closed-form broadcasts for the block-tiled
+        overlay construction in ``AvmemPredicate.evaluate_all``.
+        """
+        return np.vstack(
+            [self.threshold_many(float(ax), av_ys, pdf) for ax in av_xs]
+        )
+
+
+def has_matrix_threshold(rule: "_Rule") -> bool:
+    """Whether ``rule`` provides a closed-form :meth:`_Rule.threshold_matrix`.
+
+    Rules that only define the scalar/row forms (e.g. application
+    :class:`FunctionRule` callables) may be partial functions — a
+    distance-decaying vertical rule is never evaluated in-band by the
+    scalar path — so the batched overlay construction must not evaluate
+    them over the full N×N grid; it falls back to masked row evaluation
+    instead.
+    """
+    return type(rule).threshold_matrix is not _Rule.threshold_matrix
 
 
 class VerticalSliverRule(_Rule):
@@ -106,6 +137,9 @@ class ConstantVertical(VerticalSliverRule):
     def threshold_many(self, av_x, av_ys, pdf):
         return np.full(len(av_ys), self.probability)
 
+    def threshold_matrix(self, av_xs, av_ys, pdf):
+        return np.array(self.probability)
+
     def __repr__(self) -> str:
         return f"ConstantVertical(p={self.probability:.4g})"
 
@@ -131,6 +165,10 @@ class LogarithmicVertical(VerticalSliverRule):
         values[densities <= _DENSITY_FLOOR] = 1.0
         return np.minimum(values, 1.0)
 
+    def threshold_matrix(self, av_xs, av_ys, pdf):
+        # Depends only on av(y): one row vector broadcast over sources.
+        return self.threshold_many(0.0, np.asarray(av_ys, dtype=float), pdf)[None, :]
+
     def __repr__(self) -> str:
         return f"LogarithmicVertical(c1={self.c1})"
 
@@ -154,6 +192,18 @@ class LogarithmicDecreasingVertical(VerticalSliverRule):
         av_ys = np.asarray(av_ys, dtype=float)
         densities = np.asarray(pdf.density(av_ys))
         distances = np.abs(av_ys - av_x)
+        numerator = self.c1 * log_at_least_one(pdf.n_star)
+        degenerate = (densities <= _DENSITY_FLOOR) | (distances <= 0.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            values = numerator / (pdf.n_star * densities * distances)
+        values[degenerate] = 1.0
+        return np.minimum(values, 1.0)
+
+    def threshold_matrix(self, av_xs, av_ys, pdf):
+        av_xs = np.asarray(av_xs, dtype=float)
+        av_ys = np.asarray(av_ys, dtype=float)
+        densities = np.asarray(pdf.density(av_ys))[None, :]
+        distances = np.abs(av_ys[None, :] - av_xs[:, None])
         numerator = self.c1 * log_at_least_one(pdf.n_star)
         degenerate = (densities <= _DENSITY_FLOOR) | (distances <= 0.0)
         with np.errstate(divide="ignore", invalid="ignore"):
@@ -189,6 +239,9 @@ class ConstantHorizontal(HorizontalSliverRule):
 
     def threshold_many(self, av_x, av_ys, pdf):
         return np.full(len(av_ys), self.probability)
+
+    def threshold_matrix(self, av_xs, av_ys, pdf):
+        return np.array(self.probability)
 
     def __repr__(self) -> str:
         return f"ConstantHorizontal(p={self.probability:.4g})"
@@ -228,6 +281,12 @@ class LogarithmicConstantHorizontal(HorizontalSliverRule):
 
     def threshold_many(self, av_x, av_ys, pdf):
         return np.full(len(av_ys), self.threshold(av_x, 0.0, pdf))
+
+    def threshold_matrix(self, av_xs, av_ys, pdf):
+        # Depends only on av(x): one column vector broadcast over
+        # candidates.  Each scalar lookup hits the per-av_x cache.
+        column = np.array([self.threshold(float(ax), 0.0, pdf) for ax in av_xs])
+        return column[:, None]
 
     def __repr__(self) -> str:
         return f"LogarithmicConstantHorizontal(c2={self.c2}, epsilon={self.epsilon})"
@@ -289,6 +348,9 @@ class RandomUniformRule(VerticalSliverRule, HorizontalSliverRule):
 
     def threshold_many(self, av_x, av_ys, pdf):
         return np.full(len(av_ys), self.probability)
+
+    def threshold_matrix(self, av_xs, av_ys, pdf):
+        return np.array(self.probability)
 
     def __repr__(self) -> str:
         return f"RandomUniformRule(p={self.probability:.4g})"

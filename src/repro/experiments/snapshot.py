@@ -89,7 +89,12 @@ class OverlaySnapshot:
 
 
 def take_snapshot(simulation: AvmemSimulation) -> OverlaySnapshot:
-    """Measure the overlay over the currently online population."""
+    """Measure the overlay over the currently online population.
+
+    The per-node ±ε candidate counts (Fig 3's x-axis) are computed as one
+    sorted-array pass instead of an O(N²) comparison loop, matching the
+    array-backed overlay construction this feeds (Figs 2-4 drivers).
+    """
     now = simulation.sim.now
     online_ids = simulation.online_ids()
     online_set = set(online_ids)
@@ -100,7 +105,15 @@ def take_snapshot(simulation: AvmemSimulation) -> OverlaySnapshot:
     }
     snapshot.availability = availability
     values = np.array([availability[n] for n in online_ids])
-    for node_id in online_ids:
+    # Candidates within ±ε, minus self: count via two binary searches
+    # over the sorted availabilities rather than an N×N comparison.
+    sorted_values = np.sort(values)
+    in_band = (
+        np.searchsorted(sorted_values, values + epsilon, side="left")
+        - np.searchsorted(sorted_values, values - epsilon, side="right")
+    )
+    incoming: Dict[NodeId, int] = {node: 0 for node in online_ids}
+    for node_id, band_count in zip(online_ids, in_band):
         node = simulation.nodes[node_id]
         lists = node.lists
         snapshot.hs_size[node_id] = lists.horizontal_count
@@ -108,17 +121,12 @@ def take_snapshot(simulation: AvmemSimulation) -> OverlaySnapshot:
         snapshot.hs_online[node_id] = sum(
             1 for e in lists.horizontal if e.node in online_set
         )
-        snapshot.vs_online[node_id] = sum(
-            1 for e in lists.vertical if e.node in online_set
-        )
-        av = availability[node_id]
-        snapshot.hs_candidates[node_id] = int(
-            np.sum(np.abs(values - av) < epsilon) - 1  # exclude self
-        )
-    incoming: Dict[NodeId, int] = {node: 0 for node in online_ids}
-    for node_id in online_ids:
-        for entry in simulation.nodes[node_id].lists.vertical:
+        vs_online = 0
+        for entry in lists.vertical:
             if entry.node in online_set:
+                vs_online += 1
                 incoming[entry.node] += 1
+        snapshot.vs_online[node_id] = vs_online
+        snapshot.hs_candidates[node_id] = int(band_count) - 1  # exclude self
     snapshot.incoming_vs = incoming
     return snapshot

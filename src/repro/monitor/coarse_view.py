@@ -93,23 +93,32 @@ class GlobalSampleView:
         return self._pool
 
     def _sample_for(self, node: NodeId) -> Tuple[NodeId, ...]:
+        """One period's view: live picks plus stale picks, all distinct.
+
+        Both draws exclude the owner and each other up front, so a view
+        is only ever shorter than ``view_size`` when the eligible
+        population genuinely cannot fill it (e.g. too few online nodes
+        with ``stale_fraction=0``) — collisions are resampled, never
+        silently dropped, which would shrink views and bias discovery
+        time toward nodes that happened to collide less.
+        """
         pool = self._online_pool()
         n_stale = int(round(self.view_size * self.stale_fraction))
         n_live = self.view_size - n_stale
-        picks: List[NodeId] = []
-        if n_live > 0 and pool:
-            size = min(n_live, len(pool))
-            indices = self.rng.choice(len(pool), size=size, replace=False)
-            picks.extend(pool[i] for i in indices)
+        view: List[NodeId] = []
+        if n_live > 0:
+            live_pool = [p for p in pool if p != node]
+            if live_pool:
+                size = min(n_live, len(live_pool))
+                indices = self.rng.choice(len(live_pool), size=size, replace=False)
+                view.extend(live_pool[i] for i in indices)
         if n_stale > 0:
-            indices = self.rng.choice(len(self.population), size=n_stale, replace=False)
-            picks.extend(self.population[i] for i in indices)
-        seen = {node}
-        view = []
-        for candidate in picks:
-            if candidate not in seen:
-                seen.add(candidate)
-                view.append(candidate)
+            seen = {node, *view}
+            stale_pool = [p for p in self.population if p not in seen]
+            if stale_pool:
+                size = min(n_stale, len(stale_pool))
+                indices = self.rng.choice(len(stale_pool), size=size, replace=False)
+                view.extend(stale_pool[i] for i in indices)
         return tuple(view)
 
     def view(self, node: NodeId) -> Tuple[NodeId, ...]:

@@ -54,11 +54,19 @@ class _PendingAttempt:
 
 @dataclass
 class _GossipState:
-    """Per (op, node) gossip progress."""
+    """Per (op, node) gossip progress.
+
+    ``resume_after`` is the last neighbor this node sent to: the next
+    round resumes iteration right after it.  Tracking the position by
+    node identity (not by list index) keeps resumption meaningful when
+    refresh rounds mutate the membership lists between gossip rounds —
+    the candidate list is recomputed every round, so an index would point
+    at an arbitrary neighbor and could permanently skip some.
+    """
 
     rounds_left: int
     sent_to: Set[NodeId]
-    cursor: int = 0
+    resume_after: Optional[NodeId] = None
 
 
 class OperationEngine:
@@ -321,11 +329,19 @@ class OperationEngine:
             return
         if not self.network.is_online(state.holder):
             return  # the retrying node itself went offline: message dies
-        state.retry_remaining -= 1
-        record.retries_used += 1
+        # "Each forwarded message carries the value of retry" (§3.2): the
+        # budget counts *retries*, so retry=R allows R re-transmissions
+        # after the initial attempt — R+1 transmissions total.  A timeout
+        # that performs no transmission (budget expired, or no candidate
+        # left to retry with) must not count as a retry.
         if state.retry_remaining <= 0:
             record.status = AnycastStatus.RETRY_EXPIRED
             return
+        if state.next_index >= len(state.candidates):
+            record.status = AnycastStatus.NO_NEIGHBOR
+            return
+        state.retry_remaining -= 1
+        record.retries_used += 1
         self._try_next_candidate(state)
 
     # ------------------------------------------------------------------
@@ -425,8 +441,14 @@ class OperationEngine:
             )
             sent = 0
             # Deterministic iteration through the list (paper's choice),
-            # resuming where the previous round left off.
-            index = state.cursor
+            # resuming right after the last neighbor sent to.  The list
+            # is recomputed each round, so the position is re-anchored by
+            # node identity; if that neighbor was evicted in the
+            # meantime, iteration restarts from the front (sent_to
+            # suppresses duplicates).
+            index = 0
+            if state.resume_after is not None and state.resume_after in candidates:
+                index = candidates.index(state.resume_after) + 1
             scanned = 0
             while sent < self.config.gossip.fanout and scanned < len(candidates):
                 target_node = candidates[index % len(candidates)]
@@ -435,10 +457,10 @@ class OperationEngine:
                 if target_node in state.sent_to or target_node == node_id:
                     continue
                 state.sent_to.add(target_node)
+                state.resume_after = target_node
                 self.network.send(node_id, target_node, message)
                 record.data_messages += 1
                 sent += 1
-            state.cursor = index % len(candidates) if candidates else 0
         state.rounds_left -= 1
         if state.rounds_left > 0:
             self.sim.schedule(

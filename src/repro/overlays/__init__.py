@@ -2,8 +2,10 @@
 
 from repro.overlays.cyclon import CyclonEntry, CyclonView
 from repro.overlays.graphs import (
+    OverlayGraph,
     band_connectivity,
     band_subgraph,
+    build_overlay,
     build_overlay_graph,
     incoming_counts_by_kind,
     mean_out_degree,
@@ -17,6 +19,8 @@ from repro.overlays.ring_dht import AvailabilityRing, RingLookupResult
 from repro.overlays.scamp import ScampMembership
 
 __all__ = [
+    "OverlayGraph",
+    "build_overlay",
     "build_overlay_graph",
     "sliver_sizes",
     "incoming_counts_by_kind",

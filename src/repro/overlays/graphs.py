@@ -2,26 +2,45 @@
 
 Because the AVMEM predicate is consistent, the overlay it spans at any
 instant is a pure function of the node set and their availabilities.
-:func:`build_overlay_graph` materializes that graph directly (vectorized
-over candidates), which powers the microbenchmark figures (Figs 2-4),
-the Theorem 2 connectivity checks, and the ``bootstrap="direct"``
-simulation mode.
+This module materializes that graph two ways:
 
-Graphs are :class:`networkx.DiGraph` — membership is directed: ``x → y``
-means "y is in x's membership list" (``M(x, y) = 1``).
+* :class:`OverlayGraph` — the **array backend**: a CSR-style structure
+  (``src_indices`` / ``dst_indices`` / ``horizontal`` numpy arrays plus
+  per-node ``offsets``) built by one fully-batched
+  :meth:`~repro.core.predicates.AvmemPredicate.evaluate_all` call, which
+  computes the entire N×N hash/threshold comparison in block-tiled numpy
+  operations.  Construction is O(N²) arithmetic but free of per-edge
+  Python, which makes it usable at N = 20k+ (see
+  ``benchmarks/bench_overlay_scale.py`` for the N ∈ {1k, 5k, 20k} sweep
+  against the legacy per-row networkx path — ≥ 5× at 20k, growing with
+  N).  All analytics (:func:`sliver_sizes`,
+  :func:`incoming_counts_by_kind`, :func:`band_subgraph` /
+  :func:`band_connectivity`, :func:`mean_out_degree`) run as array
+  operations on this backend.
+* :meth:`OverlayGraph.to_networkx` — a compatibility adapter producing
+  the seed's :class:`networkx.DiGraph` (node attribute ``availability``,
+  edge attribute ``kind``), so figure code and tests that want a general
+  graph library keep working.  :func:`build_overlay_graph` retains its
+  original signature and return type by building the array backend and
+  adapting it.
+
+Graph direction: membership is directed — ``x → y`` means "y is in x's
+membership list" (``M(x, y) = 1``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple, Union
 
 import networkx as nx
 import numpy as np
 
-from repro.core.ids import NodeId, digest_array
+from repro.core.ids import NodeId
 from repro.core.predicates import AvmemPredicate, NodeDescriptor, SliverKind
 
 __all__ = [
+    "OverlayGraph",
+    "build_overlay",
     "build_overlay_graph",
     "sliver_sizes",
     "incoming_counts_by_kind",
@@ -30,35 +49,244 @@ __all__ = [
     "mean_out_degree",
 ]
 
+GraphLike = Union["OverlayGraph", nx.DiGraph]
+
+
+class OverlayGraph:
+    """Array-backed directed membership graph (CSR layout).
+
+    Attributes
+    ----------
+    ids:
+        The node identities, in construction order; index ``i`` in every
+        array refers to ``ids[i]``.
+    availabilities:
+        Float array, ``availabilities[i] = av(ids[i])``.
+    src_indices, dst_indices:
+        Parallel int64 edge arrays sorted by source then destination.
+    horizontal:
+        Boolean per-edge array — True for HORIZONTAL sliver edges.
+    offsets:
+        Int64 array of length ``n + 1``: edges of source ``i`` occupy
+        ``slice(offsets[i], offsets[i + 1])``.
+    """
+
+    def __init__(
+        self,
+        ids: Sequence[NodeId],
+        availabilities: np.ndarray,
+        src_indices: np.ndarray,
+        dst_indices: np.ndarray,
+        horizontal: np.ndarray,
+    ):
+        self.ids: Tuple[NodeId, ...] = tuple(ids)
+        self.availabilities = np.asarray(availabilities, dtype=float)
+        self.src_indices = np.asarray(src_indices, dtype=np.int64)
+        self.dst_indices = np.asarray(dst_indices, dtype=np.int64)
+        self.horizontal = np.asarray(horizontal, dtype=bool)
+        n = len(self.ids)
+        if self.availabilities.size != n:
+            raise ValueError("availabilities must match ids")
+        if not (self.src_indices.size == self.dst_indices.size == self.horizontal.size):
+            raise ValueError("edge arrays must be parallel")
+        if self.src_indices.size:
+            if np.any(self.src_indices[:-1] > self.src_indices[1:]):
+                raise ValueError("src_indices must be sorted (CSR row order)")
+            for name, arr in (("src", self.src_indices), ("dst", self.dst_indices)):
+                if int(arr.min()) < 0 or int(arr.max()) >= n:
+                    raise ValueError(f"{name}_indices out of range [0, {n})")
+        counts = np.bincount(self.src_indices, minlength=n)
+        self.offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        self._index: Dict[NodeId, int] = {node: i for i, node in enumerate(self.ids)}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        descriptors: Sequence[NodeDescriptor],
+        predicate: AvmemPredicate,
+        cushion: float = 0.0,
+        block_rows: int = 256,
+    ) -> "OverlayGraph":
+        """Materialize the overlay over ``descriptors`` in one batched
+        predicate evaluation."""
+        ids: List[NodeId] = [d.node for d in descriptors]
+        if len(set(ids)) != len(ids):
+            raise ValueError("descriptors must have unique node ids")
+        avs = np.array([d.availability for d in descriptors], dtype=float)
+        src, dst, horizontal = predicate.evaluate_all(
+            ids, avs, cushion=cushion, block_rows=block_rows
+        )
+        return cls(ids, avs, src, dst, horizontal)
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def number_of_nodes(self) -> int:
+        return len(self.ids)
+
+    @property
+    def number_of_edges(self) -> int:
+        return int(self.src_indices.size)
+
+    def index_of(self, node: NodeId) -> int:
+        return self._index[node]
+
+    def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(dst_indices, horizontal)`` slices for source ``i`` — the
+        node's membership list in array form."""
+        sl = slice(int(self.offsets[i]), int(self.offsets[i + 1]))
+        return self.dst_indices[sl], self.horizontal[sl]
+
+    def successors(self, node: NodeId) -> List[NodeId]:
+        dsts, _ = self.row(self._index[node])
+        return [self.ids[j] for j in dsts]
+
+    # ------------------------------------------------------------------
+    # Degree / sliver analytics (array operations)
+    # ------------------------------------------------------------------
+    def out_degrees(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    def sliver_size_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-node ``(hs_sizes, vs_sizes)`` out-degree arrays."""
+        n = self.number_of_nodes
+        hs = np.bincount(self.src_indices[self.horizontal], minlength=n)
+        vs = np.bincount(self.src_indices[~self.horizontal], minlength=n)
+        return hs, vs
+
+    def incoming_count_array(self, kind: SliverKind) -> np.ndarray:
+        mask = self.horizontal if kind is SliverKind.HORIZONTAL else ~self.horizontal
+        return np.bincount(self.dst_indices[mask], minlength=self.number_of_nodes)
+
+    def mean_out_degree(self) -> float:
+        n = self.number_of_nodes
+        if n == 0:
+            return float("nan")
+        return self.number_of_edges / n
+
+    # ------------------------------------------------------------------
+    # Bands (Theorem 2)
+    # ------------------------------------------------------------------
+    def band_mask(self, lo: float, hi: float) -> np.ndarray:
+        return (self.availabilities >= lo) & (self.availabilities <= hi)
+
+    def band_edge_mask(self, node_mask: np.ndarray) -> np.ndarray:
+        """Edges with both endpoints inside ``node_mask``."""
+        return node_mask[self.src_indices] & node_mask[self.dst_indices]
+
+    def band_connectivity(self, lo: float, hi: float) -> bool:
+        """Is the sub-overlay of nodes with availability in ``[lo, hi]``
+        weakly connected?  Empty or singleton bands count as connected."""
+        mask = self.band_mask(lo, hi)
+        members = np.flatnonzero(mask)
+        if members.size <= 1:
+            return True
+        edge_mask = self.band_edge_mask(mask)
+        src = self.src_indices[edge_mask]
+        dst = self.dst_indices[edge_mask]
+        if src.size == 0:
+            return False
+        # Vectorized minimum-label propagation with pointer jumping: each
+        # round every edge pulls both endpoints down to the smaller label
+        # (weak connectivity treats edges as undirected) and every label
+        # chases its own label, so convergence takes O(log diameter)
+        # rounds of O(E) numpy work — no per-edge Python.
+        labels = np.arange(self.number_of_nodes, dtype=np.int64)
+        while True:
+            before = labels[members]
+            pulled = np.minimum(labels[src], labels[dst])
+            np.minimum.at(labels, src, pulled)
+            np.minimum.at(labels, dst, pulled)
+            # A label is itself a node index in the same component, so
+            # following it tightens toward the component minimum.
+            labels = np.minimum(labels, labels[labels])
+            after = labels[members]
+            if np.array_equal(after, before):
+                break
+        return np.unique(labels[members]).size == 1
+
+    # ------------------------------------------------------------------
+    # Compatibility adapter
+    # ------------------------------------------------------------------
+    def to_networkx(self) -> nx.DiGraph:
+        """The equivalent :class:`networkx.DiGraph` (node attribute
+        ``availability``, edge attribute ``kind``) — the seed
+        representation, kept so figure code and tests that want a general
+        graph library keep working."""
+        graph = nx.DiGraph()
+        for node, av in zip(self.ids, self.availabilities):
+            graph.add_node(node, availability=float(av))
+        ids = self.ids
+        graph.add_edges_from(
+            (ids[s], ids[d], {"kind": SliverKind.HORIZONTAL if h else SliverKind.VERTICAL})
+            for s, d, h in zip(
+                self.src_indices.tolist(),
+                self.dst_indices.tolist(),
+                self.horizontal.tolist(),
+            )
+        )
+        return graph
+
+    def subgraph(self, node_mask: np.ndarray) -> "OverlayGraph":
+        """Induced OverlayGraph over the nodes selected by ``node_mask``."""
+        members = np.flatnonzero(node_mask)
+        remap = np.full(self.number_of_nodes, -1, dtype=np.int64)
+        remap[members] = np.arange(members.size)
+        edge_mask = self.band_edge_mask(np.asarray(node_mask, dtype=bool))
+        return OverlayGraph(
+            [self.ids[i] for i in members],
+            self.availabilities[members],
+            remap[self.src_indices[edge_mask]],
+            remap[self.dst_indices[edge_mask]],
+            self.horizontal[edge_mask],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OverlayGraph(nodes={self.number_of_nodes}, "
+            f"edges={self.number_of_edges})"
+        )
+
+
+def build_overlay(
+    descriptors: Sequence[NodeDescriptor],
+    predicate: AvmemPredicate,
+    cushion: float = 0.0,
+    block_rows: int = 256,
+) -> OverlayGraph:
+    """The array-backed overlay over ``descriptors`` (preferred API)."""
+    return OverlayGraph.build(
+        descriptors, predicate, cushion=cushion, block_rows=block_rows
+    )
+
 
 def build_overlay_graph(
     descriptors: Sequence[NodeDescriptor],
     predicate: AvmemPredicate,
     cushion: float = 0.0,
 ) -> nx.DiGraph:
-    """The directed membership graph over ``descriptors``.
+    """The directed membership graph over ``descriptors`` as a
+    :class:`networkx.DiGraph` (compatibility wrapper).
 
     Node attributes: ``availability``.  Edge attributes: ``kind``
-    (:class:`SliverKind`).  O(n²) predicate evaluations, vectorized per
-    source row.
+    (:class:`SliverKind`).  Construction runs through the batched array
+    backend and adapts; callers that only need analytics should use
+    :func:`build_overlay` and skip the adapter entirely.
     """
-    ids: List[NodeId] = [d.node for d in descriptors]
-    if len(set(ids)) != len(ids):
-        raise ValueError("descriptors must have unique node ids")
-    avs = np.array([d.availability for d in descriptors], dtype=float)
-    graph = nx.DiGraph()
-    for descriptor in descriptors:
-        graph.add_node(descriptor.node, availability=descriptor.availability)
-    for i, source in enumerate(descriptors):
-        member, horizontal = predicate.evaluate_many(source, ids, avs, cushion=cushion)
-        for j in np.flatnonzero(member):
-            kind = SliverKind.HORIZONTAL if horizontal[j] else SliverKind.VERTICAL
-            graph.add_edge(source.node, ids[j], kind=kind)
-    return graph
+    return build_overlay(descriptors, predicate, cushion=cushion).to_networkx()
 
 
-def sliver_sizes(graph: nx.DiGraph) -> Dict[NodeId, Tuple[int, int]]:
+def sliver_sizes(graph: GraphLike) -> Dict[NodeId, Tuple[int, int]]:
     """Per-node ``(hs_size, vs_size)`` out-degrees."""
+    if isinstance(graph, OverlayGraph):
+        hs, vs = graph.sliver_size_arrays()
+        return {
+            node: (int(h), int(v)) for node, h, v in zip(graph.ids, hs, vs)
+        }
     out: Dict[NodeId, Tuple[int, int]] = {}
     for node in graph.nodes:
         hs = vs = 0
@@ -71,17 +299,23 @@ def sliver_sizes(graph: nx.DiGraph) -> Dict[NodeId, Tuple[int, int]]:
     return out
 
 
-def incoming_counts_by_kind(graph: nx.DiGraph, kind: SliverKind) -> Dict[NodeId, int]:
+def incoming_counts_by_kind(graph: GraphLike, kind: SliverKind) -> Dict[NodeId, int]:
     """Per-node count of incoming edges of one sliver kind (Fig 4)."""
-    counts: Dict[NodeId, int] = {node: 0 for node in graph.nodes}
+    if isinstance(graph, OverlayGraph):
+        counts = graph.incoming_count_array(kind)
+        return {node: int(c) for node, c in zip(graph.ids, counts)}
+    out: Dict[NodeId, int] = {node: 0 for node in graph.nodes}
     for _, dst, data in graph.edges(data=True):
         if data["kind"] is kind:
-            counts[dst] += 1
-    return counts
+            out[dst] += 1
+    return out
 
 
-def band_subgraph(graph: nx.DiGraph, lo: float, hi: float) -> nx.DiGraph:
-    """Induced subgraph of nodes with availability in ``[lo, hi]``."""
+def band_subgraph(graph: GraphLike, lo: float, hi: float) -> GraphLike:
+    """Induced subgraph of nodes with availability in ``[lo, hi]`` (same
+    backend as the input)."""
+    if isinstance(graph, OverlayGraph):
+        return graph.subgraph(graph.band_mask(lo, hi))
     members = [
         node
         for node, data in graph.nodes(data=True)
@@ -90,20 +324,24 @@ def band_subgraph(graph: nx.DiGraph, lo: float, hi: float) -> nx.DiGraph:
     return graph.subgraph(members).copy()
 
 
-def band_connectivity(graph: nx.DiGraph, lo: float, hi: float) -> bool:
+def band_connectivity(graph: GraphLike, lo: float, hi: float) -> bool:
     """Is the sub-overlay of nodes with availability in ``[lo, hi]``
     weakly connected?  (Theorem 2's claim, for bands of width 2ε.)
 
     Empty or singleton bands count as connected.
     """
+    if isinstance(graph, OverlayGraph):
+        return graph.band_connectivity(lo, hi)
     sub = band_subgraph(graph, lo, hi)
     if sub.number_of_nodes() <= 1:
         return True
     return nx.is_weakly_connected(sub)
 
 
-def mean_out_degree(graph: nx.DiGraph) -> float:
+def mean_out_degree(graph: GraphLike) -> float:
     """Average membership-list size across nodes."""
+    if isinstance(graph, OverlayGraph):
+        return graph.mean_out_degree()
     n = graph.number_of_nodes()
     if n == 0:
         return float("nan")

@@ -240,9 +240,10 @@ class Simulator:
 class PeriodicTask:
     """A callback re-scheduled every ``period`` seconds.
 
-    The task fires first at ``start_delay`` (default: one full period) and
-    then every ``period`` seconds until :meth:`stop` is called.  Protocol
-    loops (discovery, refresh, gossip rounds) are built on this.
+    The task fires first at ``start_delay`` (default: one period, with
+    ``jitter`` applied like every later interval) and then every
+    ``period`` ± ``jitter`` seconds until :meth:`stop` is called.
+    Protocol loops (discovery, refresh, gossip rounds) are built on this.
     """
 
     def __init__(
@@ -267,7 +268,10 @@ class PeriodicTask:
         self._rng = rng
         self._stopped = False
         self._fire_count = 0
-        first = self._period if start_delay is None else float(start_delay)
+        # Without an explicit start_delay the first firing gets the same
+        # jitter as every later one — otherwise an unstaggered population
+        # that requested jitter still fires its first round in lockstep.
+        first = self._next_delay() if start_delay is None else float(start_delay)
         self._handle: Optional[ScheduledEvent] = sim.schedule(first, self._fire)
 
     @property

@@ -203,6 +203,37 @@ class TestGlobalSampleView:
         view = GlobalSampleView(Simulator(), make_node_ids(5), 2, rng=rng)
         assert isinstance(view, CoarseViewProvider)
 
+    def test_view_always_filled_when_population_permits(self, rng):
+        """Regression: stale picks that collide with live picks (or the
+        owner) must be resampled, not dropped — otherwise views silently
+        shrink below ``view_size`` and bias discovery time."""
+        sim = Simulator()
+        ids = make_node_ids(12)
+        view = GlobalSampleView(
+            sim, ids, view_size=10, rng=rng, period=10.0, stale_fraction=0.5
+        )
+        for step in range(20):
+            for node in ids[:4]:
+                sample = view.view(node)
+                assert len(sample) == view.view_size
+                assert node not in sample
+                assert len(set(sample)) == len(sample)
+            sim.run_until((step + 1) * 10.0)
+
+    def test_live_slots_never_filled_with_offline_nodes(self, rng, trace_and_ids):
+        """The top-up must respect the live/stale composition: with
+        ``stale_fraction=0`` a thin online population yields a short
+        view, never an offline padding pick."""
+        trace, ids = trace_and_ids
+        sim = Simulator()
+        view = GlobalSampleView(
+            sim, ids, view_size=4, rng=rng, presence=trace, stale_fraction=0.0
+        )
+        sim.run_until(150.0)
+        sample = view.view(ids[3])
+        # At t=150 only ids[1] and ids[2] are online.
+        assert set(sample) <= {ids[1], ids[2]}
+
 
 class TestShuffledCoarseView:
     def test_bootstrap_views_valid(self, rng):

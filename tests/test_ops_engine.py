@@ -275,3 +275,99 @@ class TestFinalize:
         sim.run_until(sim.now + 10.0)
         engine.finalize()
         assert all(r.status != AnycastStatus.PENDING for r in records)
+
+
+class TestRetryAccounting:
+    """Regression tests pinning the §3.2 retry semantics: ``retry=R``
+    budgets R *retries* after the initial transmission — R+1 transmission
+    attempts total before RETRY_EXPIRED — and ``retries_used`` counts
+    only retries actually performed (the expiring timeout is not one)."""
+
+    @pytest.mark.parametrize("retry", [1, 2, 3])
+    def test_exact_transmission_attempts(self, retry, rng):
+        avs = [0.5] + [0.9] * 5
+        sim, network, nodes, engine, ids = build_system(
+            avs, offline={1, 2, 3, 4, 5}, rng=rng
+        )
+        sent_before = network.stats.sent
+        record = engine.anycast(
+            ids[0], TargetSpec.range(0.85, 0.95), policy="retry-greedy", retry=retry
+        )
+        sim.run_until(sim.now + 60.0)
+        record.finalize()
+        assert record.status == AnycastStatus.RETRY_EXPIRED
+        # Initial transmission + exactly `retry` retries hit the wire.
+        assert network.stats.sent - sent_before == retry + 1
+        assert record.retries_used == retry
+
+    def test_expiring_timeout_counts_no_retry(self, rng):
+        """retry=1: one retry happens, the second timeout only expires."""
+        avs = [0.5, 0.9, 0.9]
+        sim, network, nodes, engine, ids = build_system(avs, offline={1, 2}, rng=rng)
+        record = engine.anycast(
+            ids[0], TargetSpec.range(0.85, 0.95), policy="retry-greedy", retry=1
+        )
+        sim.run_until(sim.now + 60.0)
+        record.finalize()
+        assert record.status == AnycastStatus.RETRY_EXPIRED
+        assert record.retries_used == 1
+
+    def test_candidate_exhaustion_counts_no_retry(self, rng):
+        """With budget left but no candidate to retry with, the timeout
+        transmits nothing — it must report NO_NEIGHBOR without counting
+        a phantom retry."""
+        avs = [0.5, 0.9, 0.9]
+        sim, network, nodes, engine, ids = build_system(avs, offline={1, 2}, rng=rng)
+        sent_before = network.stats.sent
+        record = engine.anycast(
+            ids[0], TargetSpec.range(0.85, 0.95), policy="retry-greedy", retry=5
+        )
+        sim.run_until(sim.now + 60.0)
+        record.finalize()
+        assert record.status == AnycastStatus.NO_NEIGHBOR
+        # Both candidates were tried: initial transmission + one retry.
+        assert network.stats.sent - sent_before == 2
+        assert record.retries_used == 1
+
+
+class TestGossipResumption:
+    """Regression test for cursor resumption across membership churn:
+    the per-(op, node) gossip position is anchored to the last neighbor
+    sent to, so list mutations between rounds cannot make the iteration
+    skip neighbors that were never served."""
+
+    def test_resumes_after_last_sent_despite_churn(self, rng):
+        from repro.core.config import GossipConfig
+
+        config = AvmemConfig(gossip=GossipConfig(fanout=2, rounds=2, period=1.0))
+        avs = [0.9] * 6
+        sim, _, nodes, engine, ids = build_system(avs, rng=rng, config=config)
+        root = ids[0]
+        record = engine.multicast(root, TargetSpec.range(0.85, 0.95), mode="gossip")
+        # Root's deterministic candidate order is ids[1..5].  Round 1
+        # (t=1) sends to ids[1], ids[2].  Before round 2, a refresh-like
+        # mutation evicts ids[1] from the root's lists.
+        sim.schedule_at(1.5, lambda: nodes[root].lists.remove(ids[1]))
+        sim.run_until(10.0)
+        state = engine._gossip[(record.op_id, root)]
+        # Round 2 must resume right after ids[2] — serving ids[3] and
+        # ids[4].  An index-based cursor would resume at position 2 of
+        # the shrunken list and skip ids[3] in favor of ids[4], ids[5].
+        assert state.sent_to == {ids[1], ids[2], ids[3], ids[4]}
+
+    def test_no_node_skipped_with_enough_rounds(self, rng):
+        """With budget to cover everyone, churn must not starve anyone
+        still in the lists."""
+        from repro.core.config import GossipConfig
+
+        config = AvmemConfig(gossip=GossipConfig(fanout=2, rounds=4, period=1.0))
+        avs = [0.9] * 6
+        sim, _, nodes, engine, ids = build_system(avs, rng=rng, config=config)
+        root = ids[0]
+        record = engine.multicast(root, TargetSpec.range(0.85, 0.95), mode="gossip")
+        sim.schedule_at(1.5, lambda: nodes[root].lists.remove(ids[1]))
+        sim.run_until(10.0)
+        state = engine._gossip[(record.op_id, root)]
+        # Everyone remaining in the lists (plus the already-served
+        # ids[1]) has been sent to exactly once.
+        assert state.sent_to == {ids[1], ids[2], ids[3], ids[4], ids[5]}

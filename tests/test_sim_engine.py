@@ -224,3 +224,25 @@ class TestPeriodicTask:
         gaps = {round(b - a, 6) for a, b in zip(times, times[1:])}
         assert len(gaps) > 1  # not all gaps identical
         assert all(7.0 <= g <= 13.0 for g in gaps)
+
+    def test_jitter_applies_to_first_firing(self, sim, rng):
+        """Regression: with ``start_delay=None`` the first firing must be
+        jittered like every later interval — otherwise an unstaggered
+        population that requested jitter still fires its first round in
+        lockstep at exactly one period."""
+        times = []
+        PeriodicTask(sim, 100.0, lambda: times.append(sim.now), jitter=50.0, rng=rng)
+        sim.run_until(200.0)
+        first = times[0]
+        assert 50.0 <= first <= 150.0
+        assert first != 100.0
+
+    def test_first_firings_staggered_across_population(self, sim, rng):
+        """Many tasks sharing period+jitter must not all fire first at
+        the same instant."""
+        for _ in range(20):
+            PeriodicTask(sim, 100.0, (lambda: None), jitter=40.0, rng=rng)
+        # Collect the scheduled first-fire times straight off the queue.
+        firsts = sorted(entry.event.time for entry in sim._queue)
+        assert len(set(firsts)) > 1
+        assert all(60.0 <= t <= 140.0 for t in firsts)
