@@ -1,8 +1,11 @@
-"""Overlay-construction scaling sweep: legacy networkx path vs the
-array-backed :class:`~repro.overlays.graphs.OverlayGraph`.
+"""Overlay + membership scaling sweep: scalar seed paths vs the array
+backends (:class:`~repro.overlays.graphs.OverlayGraph` construction and
+:class:`~repro.core.membership.MembershipTable` bootstrap/refresh).
 
-Sweeps N ∈ {1k, 5k, 20k} (override with ``--sizes``) and times three
-construction strategies over the same descriptor population:
+Sweeps N ∈ {1k, 5k, 20k} (override with ``--sizes``) over the same
+descriptor population and reports two families of timings:
+
+**Overlay construction** — three strategies:
 
 * ``legacy``  — the seed implementation: one ``evaluate_many`` call per
   source row, per-edge inserts into a ``networkx.DiGraph``;
@@ -10,27 +13,40 @@ construction strategies over the same descriptor population:
 * ``adapter`` — ``OverlayGraph.build(...).to_networkx()``, what the
   compatibility wrapper :func:`build_overlay_graph` now does.
 
+**Membership tables** — the two hot paths ``bootstrap="direct"`` and the
+refresh sub-protocol exercise, each timed scalar vs batched:
+
+* ``install`` — populate every node's membership table from its
+  OverlayGraph CSR row: per-edge ``upsert`` loop vs one columnar
+  ``upsert_many`` per node;
+* ``refresh`` — one full refresh round (re-evaluate the predicate for
+  every neighbor against perturbed availabilities, evict non-members,
+  re-cache the rest): per-entry ``evaluate_kind`` + ``upsert``/``remove``
+  vs ``evaluate_many`` + one masked ``refresh_round`` pass per node.
+
 Run as a script::
 
     PYTHONPATH=src python benchmarks/bench_overlay_scale.py
     PYTHONPATH=src python benchmarks/bench_overlay_scale.py --sizes 1000 5000
 
-The acceptance bar for the array backend is a ≥ 5× construction speedup
-over the legacy path at N = 20k; a parity check (edge count + per-kind
-counts) runs at the smallest size on every invocation.
+Acceptance bars: ≥ 5× array-over-legacy construction speedup and ≥ 3×
+batched-over-scalar refresh speedup, both at N = 20k.  Parity checks
+(edge/kind parity for construction, entry-for-entry table parity for
+install + refresh) run at the smallest size on every invocation.
 """
 
 from __future__ import annotations
 
 import argparse
 import time
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 import networkx as nx
 import numpy as np
 
 from repro.core.availability import AvailabilityPdf
 from repro.core.ids import NodeId, make_node_ids
+from repro.core.membership import MemberEntry, MembershipLists
 from repro.core.predicates import AvmemPredicate, NodeDescriptor, SliverKind
 from repro.overlays.graphs import OverlayGraph
 
@@ -76,6 +92,162 @@ def timed(fn, *args, **kwargs):
     return result, time.perf_counter() - start
 
 
+# ----------------------------------------------------------------------
+# Membership-table paths (bootstrap install + refresh round)
+# ----------------------------------------------------------------------
+class SeedMembershipLists:
+    """The seed dict-of-dataclasses membership implementation, preserved
+    verbatim as the benchmark baseline so the install/refresh speedups
+    are measured against the code the columnar ``MembershipTable``
+    replaced (not against scalar calls on the new backend)."""
+
+    def __init__(self, owner: NodeId):
+        self.owner = owner
+        self._horizontal: Dict[NodeId, "MemberEntry"] = {}
+        self._vertical: Dict[NodeId, "MemberEntry"] = {}
+
+    def upsert(self, node, availability, kind, now):
+        existing = self._horizontal.pop(node, None) or self._vertical.pop(node, None)
+        if existing is None:
+            entry = MemberEntry(
+                node=node, availability=availability, kind=kind,
+                added_at=now, checked_at=now,
+            )
+        else:
+            entry = existing.refreshed(availability, kind, now)
+        table = self._horizontal if kind is SliverKind.HORIZONTAL else self._vertical
+        table[node] = entry
+        return entry
+
+    def remove(self, node) -> bool:
+        return (
+            self._horizontal.pop(node, None) is not None
+            or self._vertical.pop(node, None) is not None
+        )
+
+    def all_entries(self):
+        yield from self._horizontal.values()
+        yield from self._vertical.values()
+
+    def entries(self) -> List["MemberEntry"]:
+        return list(self._horizontal.values()) + list(self._vertical.values())
+
+
+def scalar_install(overlay: OverlayGraph) -> Dict[NodeId, SeedMembershipLists]:
+    """The seed bootstrap sink: one scalar ``upsert`` per edge into the
+    dict-backed lists."""
+    tables: Dict[NodeId, SeedMembershipLists] = {}
+    avs = overlay.availabilities
+    ids = overlay.ids
+    for i, owner in enumerate(ids):
+        table = SeedMembershipLists(owner)
+        dsts, horizontal = overlay.row(i)
+        for j, is_horizontal in zip(dsts.tolist(), horizontal.tolist()):
+            kind = SliverKind.HORIZONTAL if is_horizontal else SliverKind.VERTICAL
+            table.upsert(ids[j], float(avs[j]), kind, now=0.0)
+        tables[owner] = table
+    return tables
+
+
+def batched_install(overlay: OverlayGraph) -> Dict[NodeId, MembershipLists]:
+    """The columnar bootstrap sink: one ``upsert_many`` per CSR row."""
+    tables: Dict[NodeId, MembershipLists] = {}
+    avs = overlay.availabilities
+    id_arr, digests = overlay.id_array, overlay.digest64_array
+    for i, owner in enumerate(overlay.ids):
+        table = MembershipLists(owner)
+        dsts, horizontal = overlay.row(i)
+        table.upsert_many(
+            id_arr[dsts], avs[dsts], horizontal, now=0.0, digests=digests[dsts]
+        )
+        tables[owner] = table
+    return tables
+
+
+def perturbed_availabilities(
+    overlay: OverlayGraph, seed: int, noise: float = 0.05
+) -> np.ndarray:
+    """Availabilities one monitoring epoch later (what a refresh re-fetches)."""
+    rng = np.random.default_rng(seed + 1)
+    return np.clip(
+        overlay.availabilities + rng.normal(0.0, noise, overlay.number_of_nodes),
+        0.01, 0.99,
+    )
+
+
+def scalar_refresh(
+    tables: Dict[NodeId, SeedMembershipLists],
+    overlay: OverlayGraph,
+    new_avs: np.ndarray,
+    predicate: AvmemPredicate,
+    now: float = 1200.0,
+) -> int:
+    """The seed refresh round: per-entry ``evaluate_kind`` + ``upsert``/
+    ``remove`` on the dict-backed lists (the loop
+    ``AvmemNode.refresh_step`` used to run)."""
+    index_of = {node: i for i, node in enumerate(overlay.ids)}
+    evicted = 0
+    for i, owner in enumerate(overlay.ids):
+        table = tables[owner]
+        me = NodeDescriptor(owner, float(new_avs[i]))
+        for entry in list(table.all_entries()):
+            av = float(new_avs[index_of[entry.node]])
+            kind = predicate.evaluate_kind(me, NodeDescriptor(entry.node, av))
+            if kind is None:
+                table.remove(entry.node)
+                evicted += 1
+            else:
+                table.upsert(entry.node, av, kind, now)
+    return evicted
+
+
+def batched_refresh(
+    tables: Dict[NodeId, MembershipLists],
+    overlay: OverlayGraph,
+    new_avs: np.ndarray,
+    predicate: AvmemPredicate,
+    now: float = 1200.0,
+) -> int:
+    """The columnar refresh round: ``evaluate_many`` + one masked
+    ``refresh_round`` pass per node (what ``AvmemNode.refresh_step``
+    runs now)."""
+    pop_digests = overlay.digest64_array
+    order = np.argsort(pop_digests)
+    sorted_digests = pop_digests[order]
+    evicted = 0
+    for i, owner in enumerate(overlay.ids):
+        table = tables[owner]
+        view = table.neighbor_arrays()
+        if view.slots.size == 0:
+            continue
+        # Locate each neighbor's population index from its digest —
+        # one vectorized searchsorted instead of a dict lookup per entry.
+        neighbor_idx = order[np.searchsorted(sorted_digests, view.digests)]
+        neighbor_avs = new_avs[neighbor_idx]
+        me = NodeDescriptor(owner, float(new_avs[i]))
+        member, horizontal = predicate.evaluate_many(
+            me, view.nodes, neighbor_avs, digests=view.digests
+        )
+        evicted += table.refresh_round(
+            view.slots, neighbor_avs, horizontal, member, now
+        )
+    return evicted
+
+
+def check_membership_parity(
+    scalar_tables: Dict[NodeId, SeedMembershipLists],
+    batched_tables: Dict[NodeId, MembershipLists],
+    stage: str,
+) -> None:
+    assert scalar_tables.keys() == batched_tables.keys()
+    for owner, scalar_table in scalar_tables.items():
+        scalar_entries = scalar_table.entries()
+        batched_entries = batched_tables[owner].entries()
+        assert scalar_entries == batched_entries, (
+            f"membership {stage} parity violated at owner {owner}"
+        )
+
+
 def check_parity(descriptors, predicate) -> None:
     graph, _ = timed(legacy_build, descriptors, predicate)
     overlay, _ = timed(OverlayGraph.build, descriptors, predicate)
@@ -91,20 +263,26 @@ def check_parity(descriptors, predicate) -> None:
     )
 
 
-def main(argv=None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument(
-        "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES),
-        help="population sizes to sweep",
+def check_install_refresh_parity(descriptors, predicate, seed: int) -> None:
+    """Entry-for-entry scalar/batched table parity after install and
+    after one refresh round (the benchmark-level mirror of the
+    hypothesis property test in tests/test_membership_table.py)."""
+    overlay = OverlayGraph.build(descriptors, predicate)
+    scalar_tables = scalar_install(overlay)
+    batched_tables = batched_install(overlay)
+    check_membership_parity(scalar_tables, batched_tables, "install")
+    new_avs = perturbed_availabilities(overlay, seed)
+    scalar_evicted = scalar_refresh(scalar_tables, overlay, new_avs, predicate)
+    batched_evicted = batched_refresh(batched_tables, overlay, new_avs, predicate)
+    assert scalar_evicted == batched_evicted, "refresh eviction-count parity violated"
+    check_membership_parity(scalar_tables, batched_tables, "refresh")
+    print(
+        f"membership parity OK at N={len(descriptors)}: identical tables after "
+        f"install + refresh ({scalar_evicted} evictions)"
     )
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument(
-        "--skip-legacy-above", type=int, default=50_000,
-        help="skip the O(N^2)-with-Python-constants legacy path above this N",
-    )
-    args = parser.parse_args(argv)
 
-    check_parity(*make_population(min(args.sizes), seed=args.seed))
+
+def run_construction_sweep(args) -> None:
     print(f"{'N':>8} {'legacy_s':>10} {'array_s':>10} {'adapter_s':>10} "
           f"{'speedup':>8} {'edges':>10}")
     for n in args.sizes:
@@ -121,6 +299,47 @@ def main(argv=None) -> None:
             f"{n:>8} {legacy_repr} {array_s:10.3f} {adapter_s:10.3f} "
             f"{speedup:>8} {overlay.number_of_edges:>10}"
         )
+
+
+def run_membership_sweep(args) -> None:
+    print(f"\n{'N':>8} {'inst_scalar':>12} {'inst_batch':>11} {'inst_x':>7} "
+          f"{'refr_scalar':>12} {'refr_batch':>11} {'refr_x':>7} {'edges':>10}")
+    for n in args.sizes:
+        descriptors, predicate = make_population(n, seed=args.seed)
+        overlay = OverlayGraph.build(descriptors, predicate)
+        seed_tables, inst_scalar_s = timed(scalar_install, overlay)
+        tables, inst_batch_s = timed(batched_install, overlay)
+        new_avs = perturbed_availabilities(overlay, args.seed)
+        _, refr_scalar_s = timed(
+            scalar_refresh, seed_tables, overlay, new_avs, predicate
+        )
+        _, refr_batch_s = timed(batched_refresh, tables, overlay, new_avs, predicate)
+        print(
+            f"{n:>8} {inst_scalar_s:12.3f} {inst_batch_s:11.3f} "
+            f"{inst_scalar_s / inst_batch_s:6.1f}x {refr_scalar_s:12.3f} "
+            f"{refr_batch_s:11.3f} {refr_scalar_s / refr_batch_s:6.1f}x "
+            f"{overlay.number_of_edges:>10}"
+        )
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES),
+        help="population sizes to sweep",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--skip-legacy-above", type=int, default=50_000,
+        help="skip the O(N^2)-with-Python-constants legacy path above this N",
+    )
+    args = parser.parse_args(argv)
+
+    smallest = make_population(min(args.sizes), seed=args.seed)
+    check_parity(*smallest)
+    check_install_refresh_parity(*smallest, seed=args.seed)
+    run_construction_sweep(args)
+    run_membership_sweep(args)
 
 
 if __name__ == "__main__":

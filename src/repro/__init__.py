@@ -16,7 +16,8 @@ Quickstart
 >>> result.delivered
 True
 
-See README.md for the full tour and DESIGN.md for the architecture.
+See README.md for the full tour and docs/architecture.md for the
+layer-by-layer architecture.
 """
 
 from repro.core import (
@@ -24,6 +25,9 @@ from repro.core import (
     AvmemConfig,
     AvmemNode,
     AvmemPredicate,
+    MemberEntry,
+    MembershipLists,
+    MembershipTable,
     NodeDescriptor,
     NodeId,
     SliverKind,
@@ -47,6 +51,9 @@ __all__ = [
     "random_overlay_predicate",
     "SliverKind",
     "SliverSelector",
+    "MemberEntry",
+    "MembershipTable",
+    "MembershipLists",
     "AvmemConfig",
     "AvmemNode",
     "AvmemSimulation",

@@ -19,8 +19,8 @@ module generates a synthetic trace calibrated to the statistics the paper
 Host availabilities are drawn from a two-component Beta mixture
 (:data:`DEFAULT_MIXTURE`); presence is then sampled per host from the
 :class:`~repro.churn.models.MarkovChurnModel` with the mixture value as
-its stationary availability.  See DESIGN.md §3 for the substitution
-rationale.
+its stationary availability.  See docs/architecture.md
+("Churn and availability ground truth") for the substitution rationale.
 """
 
 from __future__ import annotations

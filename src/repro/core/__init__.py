@@ -16,7 +16,13 @@ from repro.core.hashing import (
     make_hash,
 )
 from repro.core.ids import NodeId, digest_array, make_node_ids
-from repro.core.membership import MemberEntry, MembershipLists, SliverSelector
+from repro.core.membership import (
+    MemberEntry,
+    MembershipLists,
+    MembershipTable,
+    NeighborView,
+    SliverSelector,
+)
 from repro.core.node import AvmemNode
 from repro.core.predicates import (
     AvmemPredicate,
@@ -69,8 +75,10 @@ __all__ = [
     "LogarithmicConstantHorizontal",
     "RandomUniformRule",
     "FunctionRule",
+    "MembershipTable",
     "MembershipLists",
     "MemberEntry",
+    "NeighborView",
     "SliverSelector",
     "AvmemNode",
     "AvmemConfig",

@@ -22,7 +22,8 @@ expected number of *online* nodes in the band.  A host with availability
 the availability-weighted one: ``p̃(a) ∝ p_hosts(a)·a`` with
 ``N* = Σ_i av(i)``.  :meth:`AvailabilityPdf.from_samples` applies that
 weighting by default; pass ``online_weighted=False`` for the raw host
-histogram (DESIGN.md §1.1 discusses this choice).
+histogram (docs/architecture.md, "Predicates and slivers", discusses
+this choice).
 """
 
 from __future__ import annotations

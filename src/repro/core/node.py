@@ -28,7 +28,7 @@ import numpy as np
 from repro.core.config import AvmemConfig
 from repro.core.ids import NodeId
 from repro.core.membership import MembershipLists
-from repro.core.predicates import AvmemPredicate, NodeDescriptor, SliverKind
+from repro.core.predicates import AvmemPredicate, NodeDescriptor
 from repro.core.verification import InboundVerifier
 from repro.monitor.base import CoarseViewProvider
 from repro.monitor.cache import CachedAvailabilityView
@@ -166,25 +166,46 @@ class AvmemNode:
         when the neighbor fails its liveness probe — it will re-enter the
         lists through discovery once it is back and still satisfies the
         predicate.
+
+        The whole round is one batched pass: a columnar snapshot of the
+        lists (:meth:`~repro.core.membership.MembershipTable.neighbor_arrays`),
+        one bulk cache fetch for the live neighbors, one vectorized
+        predicate evaluation, and one masked
+        :meth:`~repro.core.membership.MembershipTable.refresh_round`
+        update — semantically identical to the scalar per-entry loop it
+        replaces (offline neighbors are evicted without an availability
+        fetch, exactly as the scalar probe short-circuited).
         """
         if not self.online:
             return 0
         self.refresh_rounds += 1
         me = self.self_descriptor(fresh=True)
-        evicted = 0
-        for entry in list(self.lists.all_entries()):
-            if self.config.refresh_liveness and not self.network.is_online(entry.node):
-                self.lists.remove(entry.node)
-                evicted += 1
-                continue
-            av_neighbor = self.availability.fetch(entry.node)
-            kind = self.predicate.evaluate_kind(me, NodeDescriptor(entry.node, av_neighbor))
-            if kind is None:
-                self.lists.remove(entry.node)
-                evicted += 1
-            else:
-                self.lists.upsert(entry.node, av_neighbor, kind, self.sim.now)
-        return evicted
+        view = self.lists.neighbor_arrays()
+        total = view.slots.size
+        if total == 0:
+            return 0
+        neighbors = view.nodes.tolist()
+        if self.config.refresh_liveness:
+            probed = np.fromiter(
+                (self.network.is_online(node) for node in neighbors),
+                dtype=bool,
+                count=total,
+            )
+        else:
+            probed = np.ones(total, dtype=bool)
+        availabilities = np.zeros(total, dtype=float)
+        keep = np.zeros(total, dtype=bool)
+        horizontal = np.zeros(total, dtype=bool)
+        live = np.flatnonzero(probed)
+        if live.size:
+            live_nodes = [neighbors[i] for i in live]
+            availabilities[live] = self.availability.fetch_array(live_nodes)
+            keep[live], horizontal[live] = self.predicate.evaluate_many(
+                me, live_nodes, availabilities[live], digests=view.digests[live]
+            )
+        return self.lists.refresh_round(
+            view.slots, availabilities, horizontal, keep, now=self.sim.now
+        )
 
     # ------------------------------------------------------------------
     # Direct bootstrap (consistent-predicate shortcut)
@@ -197,15 +218,17 @@ class AvmemNode:
         pure function of (ids, availabilities); this shortcut produces
         exactly the graph the discovery protocol converges to, and is
         used by ``bootstrap="direct"`` simulations to skip warm-up
-        (DESIGN.md §1.5).  Returns the number of neighbors installed.
+        (docs/architecture.md §"Bootstrap modes").  Returns the number of
+        neighbors installed.
         """
         me = self.self_descriptor(fresh=True)
-        ids = [c.node for c in candidates]
+        ids = np.empty(len(candidates), dtype=object)
+        ids[:] = [c.node for c in candidates]
         avs = np.array([c.availability for c in candidates], dtype=float)
         member, horizontal = self.predicate.evaluate_many(me, ids, avs)
         selected = np.flatnonzero(member)
         return self.install_members(
-            [ids[i] for i in selected], avs[selected], horizontal[selected]
+            ids[selected], avs[selected], horizontal[selected]
         )
 
     def install_members(
@@ -213,24 +236,24 @@ class AvmemNode:
         ids: Sequence[NodeId],
         availabilities: np.ndarray,
         horizontal_flags: np.ndarray,
+        digests: Optional[np.ndarray] = None,
     ) -> int:
         """Bulk-install already-evaluated predicate matches.
 
-        The three sequences are parallel: one neighbor per entry, with
-        ``horizontal_flags`` giving the sliver classification.  This is
-        the shared sink for :meth:`bootstrap_from` and for the batched
-        whole-population bootstrap the simulation computes with
-        ``AvmemPredicate.evaluate_all`` (one CSR row per node) — the
-        predicate work is already done, only list insertion remains.
-        Returns the number of neighbors installed.
+        The sequences are parallel: one neighbor per entry, with
+        ``horizontal_flags`` giving the sliver classification and
+        ``digests`` optionally carrying precomputed endpoint digests
+        (sliced from a population-wide array).  This is the shared sink
+        for :meth:`bootstrap_from` and for the batched whole-population
+        bootstrap the simulation feeds from
+        :class:`~repro.overlays.graphs.OverlayGraph` CSR rows — the
+        predicate work is already done, and the install itself is one
+        columnar :meth:`~repro.core.membership.MembershipTable.upsert_many`
+        pass.  Returns the number of neighbors installed.
         """
-        now = self.sim.now
-        for node, availability, is_horizontal in zip(
-            ids, availabilities, horizontal_flags
-        ):
-            kind = SliverKind.HORIZONTAL if is_horizontal else SliverKind.VERTICAL
-            self.lists.upsert(node, float(availability), kind, now)
-        return len(ids)
+        return self.lists.upsert_many(
+            ids, availabilities, horizontal_flags, now=self.sim.now, digests=digests
+        )
 
     # ------------------------------------------------------------------
     # Messaging

@@ -140,19 +140,29 @@ class AvmemPredicate:
         candidates: Sequence[NodeId],
         availabilities: np.ndarray,
         cushion: float = 0.0,
+        digests: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Evaluate ``M(x, y_i)`` for many candidates at once.
 
         Returns ``(member_mask, horizontal_mask)`` — boolean arrays over
         the candidates.  Requires a vectorizable hash (mix64); falls back
         to a scalar loop otherwise.  Any candidate equal to ``x`` itself
-        is excluded.
+        is excluded.  ``digests`` optionally supplies the candidates'
+        precomputed ``uint64`` endpoint digests (e.g. from a membership
+        table's columnar storage), skipping the per-candidate digest
+        gather and the per-candidate self-exclusion scan.
         """
         availabilities = np.asarray(availabilities, dtype=float)
         if len(candidates) != availabilities.size:
             raise ValueError(
                 f"{len(candidates)} candidates but {availabilities.size} availabilities"
             )
+        if digests is not None:
+            digests = np.asarray(digests, dtype=np.uint64)
+            if digests.size != availabilities.size:
+                raise ValueError(
+                    f"{digests.size} digests but {availabilities.size} availabilities"
+                )
         horizontal_mask = np.abs(availabilities - x.availability) < self.epsilon
         thresholds = np.empty(availabilities.size, dtype=float)
         if horizontal_mask.any():
@@ -167,13 +177,18 @@ class AvmemPredicate:
         if cushion:
             thresholds = np.minimum(1.0, thresholds + cushion)
         if self.hash_fn.supports_vectorized:
-            hashes = self.hash_fn.value_many(x.node, digest_array(candidates))
+            if digests is None:
+                digests = digest_array(candidates)
+            hashes = self.hash_fn.value_many(x.node, digests)
         else:
             hashes = np.array([self.hash_fn.value(x.node, y) for y in candidates])
         member = hashes <= thresholds
-        for i, y in enumerate(candidates):
-            if y == x.node:
-                member[i] = False
+        if digests is not None:
+            member[digests == np.uint64(x.node.digest64)] = False
+        else:
+            for i, y in enumerate(candidates):
+                if y == x.node:
+                    member[i] = False
         return member, horizontal_mask
 
     def evaluate_all(

@@ -24,7 +24,8 @@ A note on I.A/II.A: the paper writes their right-hand sides as
 ``d = O(log N*)`` — a *neighbor count*, although ``f`` must be a
 probability.  We therefore expose them as probabilities with
 ``from_target_count`` constructors that convert an intended expected
-neighbor count into the corresponding probability (DESIGN.md §1.1).
+neighbor count into the corresponding probability (docs/architecture.md,
+"Predicates and slivers").
 
 **RandomUniformRule** (``f = p`` everywhere) yields the consistent
 random overlay the paper compares against in Fig 10 ("a random overlay

@@ -9,7 +9,7 @@ monitors per node.  Monitors discover their targets through the coarse
 view, ping them periodically, and estimate availability as the answered
 fraction of pings.
 
-Fidelity notes (DESIGN.md §3): pings sample the churn trace directly
+Fidelity notes (docs/architecture.md, "Monitoring services"): pings sample the churn trace directly
 instead of traversing the simulated network — the paper consumes AVMON as
 a black box, and modeling ping RTTs would only add simulation cost; ping
 *counts* are still tracked so overhead can be reported.  Queries

@@ -14,7 +14,9 @@ fetch/read split so protocol code can only read what it has fetched.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
 
 from repro.core.ids import NodeId
 from repro.monitor.base import AvailabilityService
@@ -57,6 +59,13 @@ class CachedAvailabilityView:
     def fetch_many(self, nodes: Iterable[NodeId]) -> None:
         for node in nodes:
             self.fetch(node)
+
+    def fetch_array(self, nodes: Sequence[NodeId]) -> np.ndarray:
+        """:meth:`fetch` every node and return the values as a float
+        array parallel to ``nodes`` (the refresh hot path)."""
+        return np.fromiter(
+            (self.fetch(node) for node in nodes), dtype=float, count=len(nodes)
+        )
 
     # ------------------------------------------------------------------
     # Reading (never talks to the service)

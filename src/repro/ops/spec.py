@@ -8,7 +8,7 @@ The four management operations all address an *availability region*:
 
 The evaluation picks initiators from three availability bands —
 LOW ∈ [0, 1/3), MID ∈ [1/3, 2/3), HIGH ∈ [2/3, 1.0] — and uses the
-target ranges/thresholds listed in DESIGN.md §5.
+target ranges/thresholds catalogued in docs/reproducing-figures.md.
 """
 
 from __future__ import annotations

@@ -35,7 +35,7 @@ from typing import Dict, List, Sequence, Tuple, Union
 import networkx as nx
 import numpy as np
 
-from repro.core.ids import NodeId
+from repro.core.ids import NodeId, digest_array
 from repro.core.predicates import AvmemPredicate, NodeDescriptor, SliverKind
 
 __all__ = [
@@ -98,6 +98,9 @@ class OverlayGraph:
         counts = np.bincount(self.src_indices, minlength=n)
         self.offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
         self._index: Dict[NodeId, int] = {node: i for i, node in enumerate(self.ids)}
+        self._id_array: np.ndarray = np.empty(n, dtype=object)
+        self._id_array[:] = self.ids
+        self._digest_array = digest_array(self.ids)
 
     # ------------------------------------------------------------------
     # Construction
@@ -134,6 +137,19 @@ class OverlayGraph:
 
     def index_of(self, node: NodeId) -> int:
         return self._index[node]
+
+    @property
+    def id_array(self) -> np.ndarray:
+        """The node identities as an object array — fancy-indexable by
+        ``dst_indices`` slices, so membership-table installs can gather a
+        CSR row's identities without per-edge Python."""
+        return self._id_array
+
+    @property
+    def digest64_array(self) -> np.ndarray:
+        """Per-node ``uint64`` endpoint digests, parallel to :attr:`ids`
+        (feeds :meth:`~repro.core.membership.MembershipTable.upsert_many`)."""
+        return self._digest_array
 
     def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
         """``(dst_indices, horizontal)`` slices for source ``i`` — the

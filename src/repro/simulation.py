@@ -7,7 +7,7 @@ queries; a shuffled coarse view feeds discovery; AVMEM nodes maintain
 their slivers; and an :class:`~repro.ops.engine.OperationEngine` executes
 the management operations, with per-hop latencies of U[20, 80] ms.
 
-Two bootstrap modes (DESIGN.md §1.5):
+Two bootstrap modes (docs/architecture.md, "Bootstrap modes"):
 
 * ``"protocol"`` — nodes start with empty lists and run the discovery/
   refresh protocols through the warm-up period (the paper's 24 hours).
@@ -44,6 +44,7 @@ from repro.monitor.oracle import OracleAvailability
 from repro.ops.engine import OperationEngine
 from repro.ops.results import AnycastRecord, MulticastRecord
 from repro.ops.spec import InitiatorBand, TargetSpec
+from repro.overlays.graphs import OverlayGraph
 from repro.overlays.random_overlay import degree_matched_random_predicate
 from repro.sim.engine import Simulator
 from repro.sim.latency import PAPER_HOP_LATENCY
@@ -61,6 +62,18 @@ class SimulationSettings:
 
     Defaults are the paper's evaluation setup at full scale; tests use
     smaller ``hosts``/``epochs``.
+
+    The ``protocols`` field selects which maintenance loops run after
+    :meth:`AvmemSimulation.setup`:
+
+    * ``"full"`` — discovery **and** refresh on every node (the paper's
+      deployment; required for ``bootstrap="protocol"`` to converge);
+    * ``"refresh-only"`` — only the refresh loop: entries are kept
+      current and evicted when the predicate fails, but no *new*
+      neighbors are discovered.  The cheap mode for large sweeps where
+      direct bootstrap already installed the converged overlay;
+    * ``"off"`` — frozen lists; cache staleness grows unboundedly.
+      Useful for isolating staleness effects (Figs 5-6 style analyses).
     """
 
     hosts: int = 1442
@@ -113,7 +126,19 @@ class SimulationSettings:
 
 
 class AvmemSimulation:
-    """A fully wired AVMEM system over a synthetic Overnet trace."""
+    """A fully wired AVMEM system over a synthetic Overnet trace.
+
+    Construction builds every substrate (trace, network, monitoring
+    oracle, coarse view, nodes, operation engine) but advances no time;
+    call :meth:`setup` once to warm the system up, then launch
+    operations with :meth:`run_anycast` / :meth:`run_multicast` (or
+    their ``_batch`` variants).  All randomness derives from
+    ``settings.seed``, so a run is reproducible end to end.
+
+    >>> sim = AvmemSimulation(SimulationSettings(hosts=200, seed=7))
+    >>> sim.setup(warmup=3600.0, settle=600.0)
+    >>> record = sim.run_anycast((0.8, 0.95), initiator_band="mid")
+    """
 
     def __init__(self, settings: Optional[SimulationSettings] = None):
         self.settings = settings if settings is not None else SimulationSettings()
@@ -302,9 +327,13 @@ class AvmemSimulation:
         Because the oracle answers deterministically within a time
         bucket, the whole bootstrap is one consistent-predicate overlay:
         a single batched ``evaluate_all`` over the population, with edges
-        to offline candidates masked out, replaces the seed's per-node
-        ``evaluate_many`` loop (the N=1442 full-scale warm-up drops from
-        N Python rounds to a handful of numpy blocks).
+        to offline candidates masked out, materialized as an
+        :class:`~repro.overlays.graphs.OverlayGraph` whose CSR rows feed
+        each node's columnar
+        :meth:`~repro.core.membership.MembershipTable.upsert_many`
+        directly — identities, availabilities, and digests are all
+        fancy-indexed array slices, so no per-edge Python remains
+        anywhere on the install path.
         """
         online = set(self.online_ids())
         ids = self.node_ids
@@ -314,18 +343,17 @@ class AvmemSimulation:
             (node in online for node in ids), dtype=bool, count=len(ids)
         )
         keep = online_mask[dst]
-        src, dst, horizontal = src[keep], dst[keep], horizontal[keep]
-        # src is sorted: locate each node's CSR row once.
-        row_bounds = np.searchsorted(src, np.arange(len(ids) + 1))
+        overlay = OverlayGraph(ids, avs, src[keep], dst[keep], horizontal[keep])
+        id_arr, digests = overlay.id_array, overlay.digest64_array
         for i, node_id in enumerate(ids):
             node = self.nodes[node_id]
             # Prime the node's own availability cache with the service's
             # current answer, then install its row of predicate matches.
             node.availability.fetch(node_id)
-            row = slice(int(row_bounds[i]), int(row_bounds[i + 1]))
-            neighbors = dst[row]
+            neighbors, row_horizontal = overlay.row(i)
             node.install_members(
-                [ids[j] for j in neighbors], avs[neighbors], horizontal[row]
+                id_arr[neighbors], avs[neighbors], row_horizontal,
+                digests=digests[neighbors],
             )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Documentation checks: runnable code blocks + link integrity.
+
+Keeps README.md and docs/ honest in CI:
+
+1. **Executable snippets** — every fenced ```python`` block in the
+   checked markdown files is executed verbatim (fresh namespace per
+   block, repo root as cwd, ``src/`` on ``sys.path``).  The README
+   quickstart therefore runs on every CI build; snippets that are not
+   meant to execute should use a different language tag (``console``,
+   ``text``, or a bare fence).
+2. **Link check** — every relative markdown link must point at an
+   existing file, and every ``#fragment`` (same-file or cross-file) must
+   match a heading anchor in the target, using GitHub's slug rules.
+
+Run from the repository root (CI does)::
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import re
+import sys
+import time
+from contextlib import redirect_stdout
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKED_FILES = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^()\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*$")
+
+
+def iter_code_blocks(text: str) -> Iterator[Tuple[str, int, str]]:
+    """Yield ``(language, start_line, code)`` for each fenced block."""
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        match = FENCE_RE.match(lines[i])
+        if match:
+            language = match.group(1).lower()
+            start = i + 1
+            body: List[str] = []
+            i += 1
+            while i < len(lines) and not lines[i].startswith("```"):
+                body.append(lines[i])
+                i += 1
+            yield language, start, "\n".join(body)
+        i += 1
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's markdown heading → anchor slug transformation."""
+    slug = re.sub(r"[`*_]", "", heading.strip().lower())
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    return slug.replace(" ", "-")
+
+
+def heading_anchors(path: Path) -> set:
+    anchors = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            anchors.add(github_slug(match.group(2)))
+    return anchors
+
+
+def check_links(path: Path) -> List[str]:
+    errors: List[str] = []
+    text = path.read_text(encoding="utf-8")
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        link, _, fragment = target.partition("#")
+        resolved = (path.parent / link).resolve() if link else path
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in heading_anchors(resolved):
+                errors.append(
+                    f"{path.relative_to(REPO_ROOT)}: missing anchor -> {target}"
+                )
+    return errors
+
+
+def run_code_blocks(path: Path) -> List[str]:
+    errors: List[str] = []
+    for language, line, code in iter_code_blocks(path.read_text(encoding="utf-8")):
+        if language != "python":
+            continue
+        label = f"{path.relative_to(REPO_ROOT)}:{line}"
+        started = time.perf_counter()
+        captured = io.StringIO()
+        try:
+            with redirect_stdout(captured):
+                exec(compile(code, str(label), "exec"), {"__name__": "__docs__"})
+        except Exception as exc:  # noqa: BLE001 - report, don't crash the sweep
+            errors.append(f"{label}: python block raised {type(exc).__name__}: {exc}")
+        else:
+            print(f"  ran python block at {label} ({time.perf_counter() - started:.1f}s)")
+    return errors
+
+
+def main() -> int:
+    os.chdir(REPO_ROOT)
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    failures: List[str] = []
+    for path in CHECKED_FILES:
+        print(f"checking {path.relative_to(REPO_ROOT)}")
+        failures.extend(check_links(path))
+        failures.extend(run_code_blocks(path))
+    if failures:
+        print("\nFAILURES:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"\nOK: {len(CHECKED_FILES)} files, all links resolve, all python blocks ran")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
