@@ -33,6 +33,8 @@ Acceptance bars: ≥ 5× array-over-legacy construction speedup and ≥ 3×
 batched-over-scalar refresh speedup, both at N = 20k.  Parity checks
 (edge/kind parity for construction, entry-for-entry table parity for
 install + refresh) run at the smallest size on every invocation.
+Results are also written to
+``benchmarks/results/BENCH_overlay_scale.json`` (:mod:`bench_util`).
 """
 
 from __future__ import annotations
@@ -44,6 +46,7 @@ from typing import Dict, List, Sequence
 import networkx as nx
 import numpy as np
 
+from bench_util import emit_bench_json
 from repro.core.availability import AvailabilityPdf
 from repro.core.ids import NodeId, make_node_ids
 from repro.core.membership import MemberEntry, MembershipLists
@@ -282,26 +285,38 @@ def check_install_refresh_parity(descriptors, predicate, seed: int) -> None:
     )
 
 
-def run_construction_sweep(args) -> None:
+def run_construction_sweep(args) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
     print(f"{'N':>8} {'legacy_s':>10} {'array_s':>10} {'adapter_s':>10} "
           f"{'speedup':>8} {'edges':>10}")
     for n in args.sizes:
         descriptors, predicate = make_population(n, seed=args.seed)
         overlay, array_s = timed(OverlayGraph.build, descriptors, predicate)
         _, adapter_s = timed(lambda: overlay.to_networkx())
+        row: Dict[str, object] = {
+            "n": n,
+            "array_s": array_s,
+            "adapter_s": adapter_s,
+            "edges": overlay.number_of_edges,
+        }
         if n <= args.skip_legacy_above:
             _, legacy_s = timed(legacy_build, descriptors, predicate)
+            row["legacy_s"] = legacy_s
+            row["speedup"] = legacy_s / array_s
             speedup = f"{legacy_s / array_s:7.1f}x"
             legacy_repr = f"{legacy_s:10.3f}"
         else:
             speedup, legacy_repr = "      —", "         —"
+        rows.append(row)
         print(
             f"{n:>8} {legacy_repr} {array_s:10.3f} {adapter_s:10.3f} "
             f"{speedup:>8} {overlay.number_of_edges:>10}"
         )
+    return rows
 
 
-def run_membership_sweep(args) -> None:
+def run_membership_sweep(args) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
     print(f"\n{'N':>8} {'inst_scalar':>12} {'inst_batch':>11} {'inst_x':>7} "
           f"{'refr_scalar':>12} {'refr_batch':>11} {'refr_x':>7} {'edges':>10}")
     for n in args.sizes:
@@ -314,12 +329,23 @@ def run_membership_sweep(args) -> None:
             scalar_refresh, seed_tables, overlay, new_avs, predicate
         )
         _, refr_batch_s = timed(batched_refresh, tables, overlay, new_avs, predicate)
+        rows.append({
+            "n": n,
+            "install_scalar_s": inst_scalar_s,
+            "install_batch_s": inst_batch_s,
+            "install_speedup": inst_scalar_s / inst_batch_s,
+            "refresh_scalar_s": refr_scalar_s,
+            "refresh_batch_s": refr_batch_s,
+            "refresh_speedup": refr_scalar_s / refr_batch_s,
+            "edges": overlay.number_of_edges,
+        })
         print(
             f"{n:>8} {inst_scalar_s:12.3f} {inst_batch_s:11.3f} "
             f"{inst_scalar_s / inst_batch_s:6.1f}x {refr_scalar_s:12.3f} "
             f"{refr_batch_s:11.3f} {refr_scalar_s / refr_batch_s:6.1f}x "
             f"{overlay.number_of_edges:>10}"
         )
+    return rows
 
 
 def main(argv=None) -> None:
@@ -333,13 +359,26 @@ def main(argv=None) -> None:
         "--skip-legacy-above", type=int, default=50_000,
         help="skip the O(N^2)-with-Python-constants legacy path above this N",
     )
+    parser.add_argument(
+        "--json-out", default=None,
+        help="result path (default: benchmarks/results/BENCH_overlay_scale.json)",
+    )
     args = parser.parse_args(argv)
 
     smallest = make_population(min(args.sizes), seed=args.seed)
     check_parity(*smallest)
     check_install_refresh_parity(*smallest, seed=args.seed)
-    run_construction_sweep(args)
-    run_membership_sweep(args)
+    construction = run_construction_sweep(args)
+    membership = run_membership_sweep(args)
+    emit_bench_json(
+        "overlay_scale",
+        {
+            "seed": args.seed,
+            "construction": construction,
+            "membership": membership,
+        },
+        path=args.json_out,
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,47 @@
+"""Shared benchmark plumbing: machine-readable result emission.
+
+Every benchmark script prints a human table *and* writes a
+``BENCH_<name>.json`` record via :func:`emit_bench_json`, so the
+performance trajectory is tracked across PRs instead of living only in
+scrollback.  Records land in ``benchmarks/results/`` by default and
+carry enough environment metadata (python/numpy versions) to interpret
+regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["emit_bench_json", "RESULTS_DIR"]
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def emit_bench_json(name: str, payload: dict, path: Optional[str] = None) -> Path:
+    """Write one benchmark's results as ``BENCH_<name>.json``.
+
+    ``payload`` must be json-serializable; environment metadata is added
+    under ``"environment"``.  Returns the path written.
+    """
+    target = Path(path) if path is not None else RESULTS_DIR / f"BENCH_{name}.json"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    record = {
+        "benchmark": name,
+        "environment": {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        **payload,
+    }
+    with open(target, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(f"wrote {target}")
+    return target

@@ -1,7 +1,9 @@
-"""Churn substrate: traces, stochastic models, the synthetic Overnet
-generator, persistence, and statistics."""
+"""Churn substrate: traces, the columnar timeline, stochastic models,
+the synthetic Overnet generator, persistence, and statistics."""
 
 from repro.churn.loader import (
+    TRACE_MODELS,
+    generate_model_trace,
     load_trace_npz,
     load_trace_text,
     save_trace_npz,
@@ -27,10 +29,12 @@ from repro.churn.stats import (
     online_population_series,
     summarize_trace,
 )
+from repro.churn.timeline import ChurnTimeline
 from repro.churn.trace import ChurnTrace, NodeSchedule
 
 __all__ = [
     "ChurnTrace",
+    "ChurnTimeline",
     "NodeSchedule",
     "MarkovChurnModel",
     "DiurnalProfile",
@@ -44,6 +48,8 @@ __all__ = [
     "OVERNET_HOSTS",
     "OVERNET_EPOCHS",
     "OVERNET_EPOCH_SECONDS",
+    "generate_model_trace",
+    "TRACE_MODELS",
     "save_trace_npz",
     "load_trace_npz",
     "save_trace_text",

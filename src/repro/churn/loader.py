@@ -14,13 +14,61 @@ Round-tripping through either format preserves the epoch matrix exactly.
 from __future__ import annotations
 
 import os
-from typing import List, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.churn.trace import ChurnTrace
 
-__all__ = ["save_trace_npz", "load_trace_npz", "save_trace_text", "load_trace_text"]
+__all__ = [
+    "save_trace_npz",
+    "load_trace_npz",
+    "save_trace_text",
+    "load_trace_text",
+    "generate_model_trace",
+    "TRACE_MODELS",
+]
+
+#: churn-model name -> registered scenario realizing it (``repro trace
+#: --model`` dispatch; "overnet" routes to the dedicated generator).
+TRACE_MODELS = {
+    "overnet": None,
+    "weibull": "weibull-lifetimes",
+    "pareto": "pareto-heavy-tail",
+    "diurnal": "diurnal",
+}
+
+
+def generate_model_trace(
+    model: str, hosts: int, epochs: int, seed: int = 0,
+    epoch_seconds: Optional[float] = None,
+) -> ChurnTrace:
+    """Generate a trace from one of the named churn models.
+
+    ``"overnet"`` uses the calibrated synthetic Overnet generator
+    (:func:`repro.churn.overnet.generate_overnet_trace`); the other
+    models compile the corresponding registered scenario
+    (:mod:`repro.scenarios.registry`) at the requested dimensions.
+    """
+    if model not in TRACE_MODELS:
+        raise ValueError(f"unknown trace model {model!r}; pick from {sorted(TRACE_MODELS)}")
+    if epoch_seconds is None:
+        from repro.churn.overnet import OVERNET_EPOCH_SECONDS
+
+        epoch_seconds = OVERNET_EPOCH_SECONDS
+    if model == "overnet":
+        from repro.churn.overnet import OvernetTraceConfig, generate_overnet_trace
+
+        config = OvernetTraceConfig(
+            hosts=hosts, epochs=epochs, epoch_seconds=epoch_seconds
+        )
+        return generate_overnet_trace(config=config, seed=seed)
+    from repro.scenarios.registry import get_scenario
+
+    compiled = get_scenario(TRACE_MODELS[model]).compile(
+        hosts=hosts, epochs=epochs, epoch_seconds=epoch_seconds, seed=seed
+    )
+    return compiled.to_trace()
 
 PathLike = Union[str, "os.PathLike[str]"]
 

@@ -6,23 +6,32 @@ simulator.  This module defines the trace representation those
 experiments run on:
 
 * :class:`NodeSchedule` — one node's sorted, disjoint online intervals,
-  with fraction-uptime ("availability") queries.
+  with fraction-uptime ("availability") queries.  Backed by numpy arrays
+  so scalar queries are one ``np.searchsorted`` each and batch callers
+  can lift the columns straight into a
+  :class:`~repro.churn.timeline.ChurnTimeline`.
 * :class:`ChurnTrace` — a set of schedules keyed by node, implementing
   the :class:`~repro.sim.network.PresenceOracle` protocol so the network
-  can gate delivery on presence.
+  can gate delivery on presence.  Population-level and batch queries
+  (:meth:`ChurnTrace.online_mask`, :meth:`ChurnTrace.availability_array`)
+  answer through a lazily built columnar timeline — one vectorized call
+  instead of one bisect per node.
 
-Traces can be built directly from interval lists, or from a boolean
-epoch × node matrix (the shape measurement studies produce); see
-:meth:`ChurnTrace.from_matrix` and :mod:`repro.churn.overnet` for the
-synthetic Overnet-like generator.
+Traces can be built directly from interval lists, from a boolean
+epoch × node matrix (the shape measurement studies produce), or from a
+compiled scenario timeline; see :meth:`ChurnTrace.from_matrix`,
+:meth:`ChurnTrace.from_timeline`, :mod:`repro.churn.overnet` for the
+synthetic Overnet-like generator, and :mod:`repro.scenarios` for the
+declarative scenario catalogue.
 """
 
 from __future__ import annotations
 
-import bisect
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.churn.timeline import ChurnTimeline
 
 __all__ = ["NodeSchedule", "ChurnTrace"]
 
@@ -49,34 +58,44 @@ def _normalize_intervals(intervals: Iterable[Interval]) -> List[Interval]:
 class NodeSchedule:
     """One node's online sessions as half-open intervals ``[start, end)``."""
 
-    __slots__ = ("_intervals", "_starts", "_ends", "_cum_uptime")
+    __slots__ = ("_starts", "_ends", "_cum_uptime")
 
     def __init__(self, intervals: Iterable[Interval]):
-        self._intervals = _normalize_intervals(intervals)
-        self._starts = [iv[0] for iv in self._intervals]
-        self._ends = [iv[1] for iv in self._intervals]
+        cleaned = _normalize_intervals(intervals)
+        self._starts = np.array([iv[0] for iv in cleaned], dtype=float)
+        self._ends = np.array([iv[1] for iv in cleaned], dtype=float)
         # Cumulative uptime *before* interval i, enabling O(log n) uptime().
-        cum = [0.0]
-        for start, end in self._intervals:
-            cum.append(cum[-1] + (end - start))
-        self._cum_uptime = cum
+        self._cum_uptime = np.zeros(len(cleaned) + 1, dtype=float)
+        np.cumsum(self._ends - self._starts, out=self._cum_uptime[1:])
+
+    @classmethod
+    def from_arrays(cls, starts: np.ndarray, ends: np.ndarray) -> "NodeSchedule":
+        """Trusted fast path: build from already-normalized session arrays
+        (sorted, disjoint, non-empty) — e.g. one
+        :meth:`~repro.churn.timeline.ChurnTimeline.sessions_of` slice."""
+        schedule = cls.__new__(cls)
+        schedule._starts = np.ascontiguousarray(starts, dtype=float)
+        schedule._ends = np.ascontiguousarray(ends, dtype=float)
+        schedule._cum_uptime = np.zeros(schedule._starts.size + 1, dtype=float)
+        np.cumsum(schedule._ends - schedule._starts, out=schedule._cum_uptime[1:])
+        return schedule
 
     # ------------------------------------------------------------------
     # Presence
     # ------------------------------------------------------------------
     def is_online(self, time: float) -> bool:
         """Whether the node is online at ``time`` (half-open intervals)."""
-        idx = bisect.bisect_right(self._starts, time) - 1
+        idx = int(self._starts.searchsorted(time, "right")) - 1
         return idx >= 0 and time < self._ends[idx]
 
     def next_transition(self, time: float) -> Optional[float]:
         """The next instant (> time) at which presence flips, or None."""
-        idx = bisect.bisect_right(self._starts, time) - 1
+        idx = int(self._starts.searchsorted(time, "right")) - 1
         if idx >= 0 and time < self._ends[idx]:
-            return self._ends[idx]  # currently online; next flip is session end
+            return float(self._ends[idx])  # currently online; next flip is session end
         nxt = idx + 1
-        if nxt < len(self._starts):
-            return self._starts[nxt]
+        if nxt < self._starts.size:
+            return float(self._starts[nxt])
         return None
 
     # ------------------------------------------------------------------
@@ -100,11 +119,11 @@ class NodeSchedule:
         return self.uptime(until, since) / span
 
     def _uptime_before(self, time: float) -> float:
-        idx = bisect.bisect_right(self._starts, time) - 1
+        idx = int(self._starts.searchsorted(time, "right")) - 1
         if idx < 0:
             return 0.0
-        full = self._cum_uptime[idx]
-        start, end = self._intervals[idx]
+        full = float(self._cum_uptime[idx])
+        start, end = float(self._starts[idx]), float(self._ends[idx])
         return full + min(time, end) - start if time > start else full
 
     # ------------------------------------------------------------------
@@ -112,17 +131,21 @@ class NodeSchedule:
     # ------------------------------------------------------------------
     @property
     def intervals(self) -> Tuple[Interval, ...]:
-        return tuple(self._intervals)
+        return tuple(zip(self._starts.tolist(), self._ends.tolist()))
 
     @property
     def session_count(self) -> int:
-        return len(self._intervals)
+        return int(self._starts.size)
+
+    def session_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``(starts, ends)`` columns (normalized, read-only use)."""
+        return self._starts, self._ends
 
     def session_lengths(self) -> List[float]:
-        return [end - start for start, end in self._intervals]
+        return (self._ends - self._starts).tolist()
 
     def first_appearance(self) -> Optional[float]:
-        return self._starts[0] if self._starts else None
+        return float(self._starts[0]) if self._starts.size else None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"NodeSchedule(sessions={self.session_count})"
@@ -131,12 +154,25 @@ class NodeSchedule:
 class ChurnTrace:
     """Schedules for a population of nodes; acts as a presence oracle."""
 
-    def __init__(self, schedules: Dict[NodeKey, NodeSchedule], horizon: float):
+    def __init__(
+        self,
+        schedules: Dict[NodeKey, NodeSchedule],
+        horizon: float,
+        timeline: Optional[ChurnTimeline] = None,
+    ):
         if horizon <= 0:
             raise ValueError(f"horizon must be positive, got {horizon}")
         self._schedules = dict(schedules)
         self.horizon = float(horizon)
         self._order: Tuple[NodeKey, ...] = tuple(self._schedules)
+        self._index: Dict[NodeKey, int] = {
+            key: i for i, key in enumerate(self._order)
+        }
+        self._timeline = timeline
+        # Lazily built digest64 translation table (see node_indices).
+        self._digest_ok: Optional[bool] = None
+        self._digest_sorted: Optional[np.ndarray] = None
+        self._digest_order: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -156,43 +192,111 @@ class ChurnTrace:
         matrix = np.asarray(matrix, dtype=bool)
         if matrix.ndim != 2:
             raise ValueError(f"matrix must be 2-D (epochs x nodes), got shape {matrix.shape}")
-        epochs, n_nodes = matrix.shape
-        if n_nodes != len(node_keys):
+        if matrix.shape[1] != len(node_keys):
             raise ValueError(
-                f"matrix has {n_nodes} node columns but {len(node_keys)} keys were given"
+                f"matrix has {matrix.shape[1]} node columns but "
+                f"{len(node_keys)} keys were given"
+            )
+        timeline = ChurnTimeline.from_matrix(matrix, epoch_seconds)
+        return cls.from_timeline(timeline, node_keys)
+
+    @classmethod
+    def from_timeline(
+        cls, timeline: ChurnTimeline, node_keys: Sequence[NodeKey]
+    ) -> "ChurnTrace":
+        """Build a trace whose scalar *and* batch queries answer from the
+        given columnar timeline (node ``i`` of the timeline is keyed by
+        ``node_keys[i]``)."""
+        if timeline.n_nodes != len(node_keys):
+            raise ValueError(
+                f"timeline has {timeline.n_nodes} nodes but "
+                f"{len(node_keys)} keys were given"
             )
         if len(set(node_keys)) != len(node_keys):
             raise ValueError("node keys must be unique")
-        if epoch_seconds <= 0:
-            raise ValueError(f"epoch_seconds must be positive, got {epoch_seconds}")
         schedules: Dict[NodeKey, NodeSchedule] = {}
         for i, key in enumerate(node_keys):
-            column = matrix[:, i]
-            intervals: List[Interval] = []
-            run_start: Optional[int] = None
-            for e in range(epochs):
-                if column[e] and run_start is None:
-                    run_start = e
-                elif not column[e] and run_start is not None:
-                    intervals.append((run_start * epoch_seconds, e * epoch_seconds))
-                    run_start = None
-            if run_start is not None:
-                intervals.append((run_start * epoch_seconds, epochs * epoch_seconds))
-            schedules[key] = NodeSchedule(intervals)
-        return cls(schedules, horizon=epochs * epoch_seconds)
+            schedules[key] = NodeSchedule.from_arrays(*timeline.sessions_of(i))
+        return cls(schedules, horizon=timeline.horizon, timeline=timeline)
 
     def to_matrix(self, epoch_seconds: float) -> Tuple[np.ndarray, Tuple[NodeKey, ...]]:
         """Sample presence at epoch midpoints back into a boolean matrix."""
         if epoch_seconds <= 0:
             raise ValueError(f"epoch_seconds must be positive, got {epoch_seconds}")
         epochs = int(round(self.horizon / epoch_seconds))
-        matrix = np.zeros((epochs, len(self._order)), dtype=bool)
-        for i, key in enumerate(self._order):
-            schedule = self._schedules[key]
-            for e in range(epochs):
-                midpoint = (e + 0.5) * epoch_seconds
-                matrix[e, i] = schedule.is_online(midpoint)
-        return matrix, self._order
+        midpoints = (np.arange(epochs) + 0.5) * epoch_seconds
+        return self.timeline.online_mask_matrix(midpoints), self._order
+
+    # ------------------------------------------------------------------
+    # Columnar timeline (lazily built; the batch-query backend)
+    # ------------------------------------------------------------------
+    @property
+    def timeline(self) -> ChurnTimeline:
+        """The columnar twin of this trace (built once, on first use)."""
+        if self._timeline is None:
+            columns = [self._schedules[key].session_arrays() for key in self._order]
+            counts = np.array([s.size for s, _ in columns], dtype=np.int64)
+            self._timeline = ChurnTimeline(
+                len(columns),
+                self.horizon,
+                np.repeat(np.arange(len(columns), dtype=np.int64), counts),
+                np.concatenate([s for s, _ in columns]) if columns else np.zeros(0),
+                np.concatenate([e for _, e in columns]) if columns else np.zeros(0),
+            )
+        return self._timeline
+
+    def index_of(self, node: NodeKey) -> int:
+        """The timeline row index of ``node`` (raises KeyError if unknown)."""
+        return self._index[node]
+
+    def node_indices(self, nodes: Sequence[NodeKey]) -> np.ndarray:
+        """Timeline row indices for a batch of keys (raises on unknowns).
+
+        When the keys carry a unique precomputed ``digest64`` (NodeIds
+        do), translation runs as one C-level ``searchsorted`` over a
+        sorted digest table instead of one dict lookup per key — this
+        sits inside every batched oracle query.  Other key types fall
+        back to the dict.
+        """
+        if self._digest_ok is None:
+            self._build_digest_index()
+        if self._digest_ok:
+            try:
+                digests = np.fromiter(
+                    (node.digest64 for node in nodes),
+                    dtype=np.uint64,
+                    count=len(nodes),
+                )
+            except AttributeError:
+                pass  # foreign key type queried: let the dict decide
+            else:
+                pos = self._digest_sorted.searchsorted(digests)
+                np.minimum(pos, self._digest_sorted.size - 1, out=pos)
+                if (self._digest_sorted[pos] == digests).all():
+                    return self._digest_order[pos]
+                # an unknown key: fall through for the dict's KeyError
+        index = self._index
+        return np.fromiter(
+            (index[node] for node in nodes), dtype=np.int64, count=len(nodes)
+        )
+
+    def _build_digest_index(self) -> None:
+        digests = []
+        for key in self._order:
+            digest = getattr(key, "digest64", None)
+            if digest is None:
+                self._digest_ok = False
+                return
+            digests.append(digest)
+        table = np.array(digests, dtype=np.uint64)
+        order = np.argsort(table)
+        table = table[order]
+        if not table.size or (table.size > 1 and (table[1:] == table[:-1]).any()):
+            self._digest_ok = False
+            return
+        self._digest_sorted = table
+        self._digest_order = order.astype(np.int64)
+        self._digest_ok = True
 
     # ------------------------------------------------------------------
     # PresenceOracle protocol
@@ -218,11 +322,18 @@ class ChurnTrace:
     def __contains__(self, node: NodeKey) -> bool:
         return node in self._schedules
 
+    def online_mask(self, time: float) -> np.ndarray:
+        """Boolean presence of every node at ``time``, aligned to
+        :attr:`nodes` — one vectorized timeline pass."""
+        return self.timeline.online_mask(time)
+
     def online_nodes(self, time: float) -> List[NodeKey]:
-        return [key for key in self._order if self._schedules[key].is_online(time)]
+        mask = self.online_mask(time)
+        order = self._order
+        return [order[i] for i in np.flatnonzero(mask)]
 
     def online_count(self, time: float) -> int:
-        return sum(1 for key in self._order if self._schedules[key].is_online(time))
+        return int(self.online_mask(time).sum())
 
     # ------------------------------------------------------------------
     # Availability queries
@@ -241,11 +352,30 @@ class ChurnTrace:
         """Fraction uptime over the full trace horizon."""
         return self._schedules[node].availability(self.horizon)
 
+    def availability_array(
+        self, nodes: Sequence[NodeKey], until: float, since: float = 0.0
+    ) -> np.ndarray:
+        """Batched :meth:`availability` — one vectorized timeline query
+        for the whole batch instead of one bisect chain per node."""
+        return self.timeline.availability_array(
+            self.node_indices(nodes), float(until), float(since)
+        )
+
+    def windowed_availability_array(
+        self, nodes: Sequence[NodeKey], time: float, window: float
+    ) -> np.ndarray:
+        """Batched :meth:`windowed_availability`."""
+        return self.timeline.windowed_availability_array(
+            self.node_indices(nodes), float(time), float(window)
+        )
+
     def availabilities(self, until: Optional[float] = None) -> Dict[NodeKey, float]:
         """Raw availabilities of every node measured up to ``until``
         (default: full horizon)."""
         t = self.horizon if until is None else float(until)
-        return {key: self._schedules[key].availability(t) for key in self._order}
+        all_rows = np.arange(self.node_count, dtype=np.int64)
+        values = self.timeline.availability_array(all_rows, t)
+        return dict(zip(self._order, values.tolist()))
 
     def restrict(self, nodes: Iterable[NodeKey]) -> "ChurnTrace":
         """A sub-trace containing only ``nodes`` (order preserved)."""

@@ -2,8 +2,11 @@
 
     avmem figure fig7 --scale small --seed 3
     avmem figures --scale medium
-    avmem trace --hosts 300 --epochs 120 --out trace.txt
+    avmem trace --hosts 300 --epochs 120 --model weibull --out trace.txt
     avmem snapshot --scale small
+    avmem scenario list
+    avmem scenario run flash-crowd --scale small --json report.json
+    avmem scenario smoke --scale small
 
 ``python -m repro`` is an alias for the ``avmem`` entry point.
 """
@@ -11,11 +14,12 @@
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.experiments.figures import ALL_FIGURES
-from repro.experiments.harness import SCALES, build_simulation
+from repro.experiments.harness import SCALES, build_simulation, run_scenario
 from repro.experiments.snapshot import take_snapshot
 
 __all__ = ["main", "build_parser"]
@@ -36,15 +40,55 @@ def build_parser() -> argparse.ArgumentParser:
     figs = sub.add_parser("figures", help="regenerate every evaluation figure")
     _add_common(figs)
 
-    trace = sub.add_parser("trace", help="generate a synthetic Overnet-like trace")
+    trace = sub.add_parser("trace", help="generate a synthetic churn trace")
     trace.add_argument("--hosts", type=int, default=1442)
     trace.add_argument("--epochs", type=int, default=504)
     trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--model",
+        choices=sorted(_trace_models()),
+        default="overnet",
+        help="churn model realizing the trace (default: the Overnet-like generator)",
+    )
     trace.add_argument("--out", required=True, help="output path (.txt or .npz)")
 
     snap = sub.add_parser("snapshot", help="print overlay snapshot statistics")
     _add_common(snap)
+
+    scen = sub.add_parser(
+        "scenario", help="list/run the declarative churn+workload scenarios"
+    )
+    scen_sub = scen.add_subparsers(dest="scenario_command", required=True)
+    scen_sub.add_parser("list", help="print the registered scenario catalogue")
+    scen_run = scen_sub.add_parser(
+        "run", help="run one scenario's workload through the harness"
+    )
+    scen_run.add_argument(
+        "name", choices=_scenario_names(), help="registered scenario name"
+    )
+    _add_common(scen_run)
+    scen_run.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the metrics report as JSON",
+    )
+    scen_smoke = scen_sub.add_parser(
+        "smoke",
+        help="compile+run every registered scenario (CI gate: any failure is fatal)",
+    )
+    _add_common(scen_smoke)
     return parser
+
+
+def _trace_models():
+    from repro.churn.loader import TRACE_MODELS
+
+    return TRACE_MODELS
+
+
+def _scenario_names():
+    from repro.scenarios.registry import scenario_names
+
+    return scenario_names()
 
 
 def _fig_key(figure_id: str) -> int:
@@ -71,21 +115,87 @@ def _cmd_figures(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    from repro.churn.loader import save_trace_npz, save_trace_text
-    from repro.churn.overnet import OvernetTraceConfig, generate_overnet_trace
+    from repro.churn.loader import generate_model_trace, save_trace_npz, save_trace_text
+    from repro.churn.overnet import OVERNET_EPOCH_SECONDS
     from repro.churn.stats import summarize_trace
+    from repro.churn.trace import ChurnTrace
 
-    config = OvernetTraceConfig(hosts=args.hosts, epochs=args.epochs)
-    trace = generate_overnet_trace(config=config, seed=args.seed)
+    epoch_seconds = OVERNET_EPOCH_SECONDS
+    trace = generate_model_trace(
+        args.model, hosts=args.hosts, epochs=args.epochs, seed=args.seed,
+        epoch_seconds=epoch_seconds,
+    )
     if args.out.endswith(".npz"):
-        save_trace_npz(args.out, trace, config.epoch_seconds)
+        save_trace_npz(args.out, trace, epoch_seconds)
     else:
-        save_trace_text(args.out, trace, config.epoch_seconds)
-    summary = summarize_trace(trace)
+        save_trace_text(args.out, trace, epoch_seconds)
+    # Summarize what the file actually contains: both formats persist an
+    # epoch matrix (presence sampled at epoch midpoints), which rounds
+    # the continuous-time models' sub-epoch sessions to the epoch grid.
+    matrix, keys = trace.to_matrix(epoch_seconds)
+    persisted = ChurnTrace.from_matrix(matrix, keys, epoch_seconds)
+    summary = summarize_trace(persisted)
+    print(f"model: {args.model}")
+    if args.model in ("weibull", "pareto"):
+        print(
+            f"note: persisted at epoch resolution ({epoch_seconds:.0f} s); "
+            "sub-epoch sessions are rounded to the epoch grid"
+        )
     for key, value in summary.as_dict().items():
         print(f"{key}: {value:.4g}")
     print(f"wrote {args.out}")
     return 0
+
+
+def _cmd_scenario(args) -> int:
+    from repro.scenarios.registry import SCENARIOS, scenario_names
+
+    if args.scenario_command == "list":
+        width = max(len(name) for name in scenario_names())
+        for name in scenario_names():
+            print(f"{name:<{width}}  {SCENARIOS[name].description}")
+        return 0
+    if args.scenario_command == "run":
+        report = run_scenario(args.name, scale=args.scale, seed=args.seed)
+        _print_report(report)
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(report.as_dict(), fh, indent=2)
+            print(f"wrote {args.json}")
+        return 0
+    # smoke: every registered scenario must compile and simulate
+    failures = []
+    for name in scenario_names():
+        try:
+            report = run_scenario(name, scale=args.scale, seed=args.seed)
+        except Exception as exc:  # noqa: BLE001 - the gate reports, then fails
+            failures.append((name, exc))
+            print(f"FAIL {name}: {type(exc).__name__}: {exc}")
+            continue
+        print(
+            f"ok   {name}: online={report.online_at_start} "
+            f"anycasts={report.anycasts_delivered}/{report.anycasts} "
+            f"multicast_rel={report.multicast_mean_reliability:.2f} "
+            f"({report.build_seconds + report.workload_seconds:.1f}s)"
+        )
+    if failures:
+        print(f"{len(failures)} scenario(s) failed the smoke gate")
+        return 1
+    print(f"all {len(scenario_names())} scenarios ran at scale {args.scale!r}")
+    return 0
+
+
+def _print_report(report) -> None:
+    for key, value in report.as_dict().items():
+        if isinstance(value, float):
+            print(f"{key}: {value:.4g}")
+        elif isinstance(value, list):
+            for note in value:
+                print(f"note: {note}")
+        elif value is None:
+            print(f"{key}: n/a")
+        else:
+            print(f"{key}: {value}")
 
 
 def _cmd_snapshot(args) -> int:
@@ -115,6 +225,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figures": _cmd_figures,
         "trace": _cmd_trace,
         "snapshot": _cmd_snapshot,
+        "scenario": _cmd_scenario,
     }
     return handlers[args.command](args)
 

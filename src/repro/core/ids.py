@@ -44,6 +44,13 @@ class NodeId:
             raise ValueError(f"port must be in (0, 65536), got {self.port}")
         object.__setattr__(self, "digest64", _endpoint_digest64(self.endpoint))
 
+    def __hash__(self) -> int:
+        # The precomputed endpoint digest doubles as the hash: one
+        # attribute read instead of tuple construction + string hashing.
+        # NodeIds key every membership/cache dict, so this is hot.
+        # Consistent with __eq__: equal (host, port) -> equal digest.
+        return self.digest64
+
     @property
     def endpoint(self) -> str:
         """The canonical ``host:port`` string the paper hashes."""

@@ -4,18 +4,29 @@ Every figure driver accepts a ``scale`` — ``"full"`` reproduces the
 paper's setup (1442 hosts, 7-day trace, 24 h warm-up, 5 runs × 50
 messages); ``"small"`` is a fast configuration for smoke tests and CI.
 :func:`build_simulation` centralizes the mapping so figures stay
-declarative.
+declarative, and accepts a ``scenario`` name so any registered churn/
+workload scenario (:mod:`repro.scenarios`) can drive the same harness.
+:func:`run_scenario` is the one-call driver the ``repro scenario`` CLI
+and the CI smoke job use: build, warm up, run the spec's operation
+workload, and report metrics.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 from repro.core.config import AvmemConfig
 from repro.simulation import AvmemSimulation, SimulationSettings
 
-__all__ = ["ExperimentScale", "SCALES", "build_simulation"]
+__all__ = [
+    "ExperimentScale",
+    "SCALES",
+    "build_simulation",
+    "run_scenario",
+    "ScenarioRunReport",
+]
 
 
 @dataclass(frozen=True)
@@ -89,14 +100,21 @@ def build_simulation(
     config: Optional[AvmemConfig] = None,
     monitor_noise_std: float = 0.02,
     setup: bool = True,
+    scenario: Optional[str] = None,
     **settings_overrides,
 ) -> AvmemSimulation:
-    """Construct (and by default warm up) a simulation for one experiment."""
+    """Construct (and by default warm up) a simulation for one experiment.
+
+    ``scenario`` names a registered :class:`~repro.scenarios.spec.ScenarioSpec`
+    whose compiled churn timeline replaces the default Overnet-like
+    trace; ``None`` keeps the paper's baseline workload.
+    """
     tier = get_scale(scale)
     settings = SimulationSettings(
         hosts=tier.hosts,
         epochs=tier.epochs,
         seed=seed,
+        scenario=scenario,
         config=config if config is not None else AvmemConfig(),
         predicate_kind=predicate_kind,
         monitor_noise_std=monitor_noise_std,
@@ -106,6 +124,152 @@ def build_simulation(
     if setup:
         simulation.setup(warmup=tier.warmup, settle=tier.settle)
     return simulation
+
+
+@dataclass(frozen=True)
+class ScenarioRunReport:
+    """Metrics from one scenario run through the harness."""
+
+    scenario: str
+    scale: str
+    seed: int
+    hosts: int
+    online_at_start: int
+    mean_lifetime_availability: float
+    anycasts: int = 0
+    anycasts_delivered: int = 0
+    anycast_mean_hops: float = float("nan")
+    anycast_mean_latency: float = float("nan")
+    anycast_data_messages: int = 0
+    multicasts: int = 0
+    multicast_mean_reliability: float = float("nan")
+    multicast_mean_spam_ratio: float = float("nan")
+    build_seconds: float = 0.0
+    workload_seconds: float = 0.0
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def anycast_success_rate(self) -> float:
+        return self.anycasts_delivered / self.anycasts if self.anycasts else float("nan")
+
+    def as_dict(self) -> Dict[str, object]:
+        """A json-serializable flat record (the CLI emits this).
+
+        Undefined metrics (NaN — e.g. mean hops with zero deliveries)
+        become ``None`` so the output is *strictly* valid JSON;
+        ``json.dump`` would otherwise emit the bare ``NaN`` token, which
+        strict parsers reject.
+        """
+
+        def scrub(value: object) -> object:
+            if isinstance(value, float) and value != value:
+                return None
+            return value
+
+        return {key: scrub(value) for key, value in {
+            "scenario": self.scenario,
+            "scale": self.scale,
+            "seed": self.seed,
+            "hosts": self.hosts,
+            "online_at_start": self.online_at_start,
+            "mean_lifetime_availability": self.mean_lifetime_availability,
+            "anycasts": self.anycasts,
+            "anycasts_delivered": self.anycasts_delivered,
+            "anycast_success_rate": self.anycast_success_rate,
+            "anycast_mean_hops": self.anycast_mean_hops,
+            "anycast_mean_latency": self.anycast_mean_latency,
+            "anycast_data_messages": self.anycast_data_messages,
+            "multicasts": self.multicasts,
+            "multicast_mean_reliability": self.multicast_mean_reliability,
+            "multicast_mean_spam_ratio": self.multicast_mean_spam_ratio,
+            "build_seconds": self.build_seconds,
+            "workload_seconds": self.workload_seconds,
+            "notes": list(self.notes),
+        }.items()}
+
+
+def _mean(values: List[float]) -> float:
+    return sum(values) / len(values) if values else float("nan")
+
+
+def run_scenario(
+    name: str,
+    scale: str = "small",
+    seed: int = 0,
+    **sim_kwargs,
+) -> ScenarioRunReport:
+    """Build a simulation for scenario ``name``, run the spec's operation
+    workload, and summarize the outcome.
+
+    This is the single entry point behind ``repro scenario run`` and the
+    CI smoke job — a scenario that compiles, warms up, and pushes its
+    workload through here is runnable end to end.
+    """
+    from repro.scenarios.registry import get_scenario
+
+    spec = get_scenario(name)
+    workload = spec.workload
+    started = time.perf_counter()
+    simulation = build_simulation(scale=scale, seed=seed, scenario=name, **sim_kwargs)
+    build_seconds = time.perf_counter() - started
+    notes: List[str] = []
+    online = len(simulation.online_ids())
+    started = time.perf_counter()
+    anycast_records = []
+    if workload.anycasts:
+        anycast_records = simulation.run_anycast_batch(
+            workload.anycasts,
+            workload.target,
+            initiator_band=workload.anycast_band,
+            policy=workload.anycast_policy,
+            retry=workload.anycast_retry,
+        )
+        if len(anycast_records) < workload.anycasts:
+            notes.append(
+                f"only {len(anycast_records)}/{workload.anycasts} anycasts launched "
+                f"(no online initiator in band {workload.anycast_band!r} at times)"
+            )
+    multicast_records = []
+    if workload.multicasts:
+        multicast_records = simulation.run_multicast_batch(
+            workload.multicasts,
+            workload.target,
+            initiator_band=workload.multicast_band,
+            mode=workload.multicast_mode,
+        )
+        if len(multicast_records) < workload.multicasts:
+            notes.append(
+                f"only {len(multicast_records)}/{workload.multicasts} multicasts "
+                f"launched (no online initiator in band {workload.multicast_band!r})"
+            )
+    workload_seconds = time.perf_counter() - started
+    delivered = [r for r in anycast_records if r.delivered]
+    targets = simulation.trace.timeline.lifetime_availability_array()
+    return ScenarioRunReport(
+        scenario=name,
+        scale=scale,
+        seed=seed,
+        hosts=simulation.settings.hosts,
+        online_at_start=online,
+        mean_lifetime_availability=float(targets.mean()),
+        anycasts=len(anycast_records),
+        anycasts_delivered=len(delivered),
+        anycast_mean_hops=_mean([float(r.hops) for r in delivered if r.hops is not None]),
+        anycast_mean_latency=_mean(
+            [float(r.latency) for r in delivered if r.latency is not None]
+        ),
+        anycast_data_messages=sum(r.data_messages for r in anycast_records),
+        multicasts=len(multicast_records),
+        multicast_mean_reliability=_mean(
+            [float(r.reliability()) for r in multicast_records]
+        ),
+        multicast_mean_spam_ratio=_mean(
+            [float(r.spam_ratio()) for r in multicast_records]
+        ),
+        build_seconds=build_seconds,
+        workload_seconds=workload_seconds,
+        notes=notes,
+    )
 
 
 __all__.append("get_scale")

@@ -13,8 +13,8 @@ fetch/read split so protocol code can only read what it has fetched.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence
+from itertools import repeat
+from typing import Dict, Iterable, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,8 +25,7 @@ from repro.sim.engine import Simulator
 __all__ = ["CacheEntry", "CachedAvailabilityView"]
 
 
-@dataclass(frozen=True)
-class CacheEntry:
+class CacheEntry(NamedTuple):
     """A cached availability value and when it was fetched."""
 
     value: float
@@ -37,12 +36,23 @@ class CacheEntry:
 
 
 class CachedAvailabilityView:
-    """One node's cached view of other nodes' availabilities."""
+    """One node's cached view of other nodes' availabilities.
+
+    Entries are stored as plain ``(value, fetched_at)`` tuples — one is
+    written per fetched neighbor per refresh round, so construction cost
+    sits on the hot path; :meth:`entry` materializes the public
+    :class:`CacheEntry` on demand.
+    """
 
     def __init__(self, service: AvailabilityService, sim: Simulator):
         self._service = service
         self._sim = sim
-        self._entries: Dict[NodeId, CacheEntry] = {}
+        self._entries: Dict[NodeId, Tuple[float, float]] = {}
+        #: batches fetched but not yet folded into ``_entries`` — refresh
+        #: rounds overwrite the whole neighbor set every period while
+        #: reads happen sporadically, so batch results are folded in
+        #: lazily on first read (last write wins, same observable state)
+        self._pending: list = []
         self.fetch_count = 0
         self.hit_count = 0
 
@@ -51,8 +61,10 @@ class CachedAvailabilityView:
     # ------------------------------------------------------------------
     def fetch(self, node: NodeId) -> float:
         """Query the service now and cache the answer."""
+        if self._pending:
+            self._fold_pending()
         value = self._service.query(node)
-        self._entries[node] = CacheEntry(value=value, fetched_at=self._sim.now)
+        self._entries[node] = (value, self._sim.now)
         self.fetch_count += 1
         return value
 
@@ -62,21 +74,46 @@ class CachedAvailabilityView:
 
     def fetch_array(self, nodes: Sequence[NodeId]) -> np.ndarray:
         """:meth:`fetch` every node and return the values as a float
-        array parallel to ``nodes`` (the refresh hot path)."""
-        return np.fromiter(
-            (self.fetch(node) for node in nodes), dtype=float, count=len(nodes)
-        )
+        array parallel to ``nodes`` (the refresh hot path).
+
+        Services exposing a batched ``query_array`` (e.g. the trace
+        oracle answering through the columnar
+        :class:`~repro.churn.timeline.ChurnTimeline`) are asked once for
+        the whole batch; others fall back to one scalar query per node.
+        Either way every answer lands in the cache, stamped now.
+        """
+        query_array = getattr(self._service, "query_array", None)
+        if query_array is None:
+            return np.fromiter(
+                (self.fetch(node) for node in nodes), dtype=float, count=len(nodes)
+            )
+        values = np.asarray(query_array(nodes), dtype=float)
+        self._pending.append((list(nodes), values, self._sim.now))
+        self.fetch_count += len(nodes)
+        return values
+
+    def _fold_pending(self) -> None:
+        """Fold deferred batches into the entry dict, oldest first (so a
+        later fetch of the same node wins, as with eager stores)."""
+        pending, self._pending = self._pending, []
+        entries = self._entries
+        for nodes, values, fetched_at in pending:
+            # C-level bulk insert: dict.update consumes the zip pipeline
+            # without a per-entry python loop.
+            entries.update(zip(nodes, zip(values.tolist(), repeat(fetched_at))))
 
     # ------------------------------------------------------------------
     # Reading (never talks to the service)
     # ------------------------------------------------------------------
     def get(self, node: NodeId) -> Optional[float]:
         """The cached value, or None if never fetched."""
+        if self._pending:
+            self._fold_pending()
         entry = self._entries.get(node)
         if entry is None:
             return None
         self.hit_count += 1
-        return entry.value
+        return entry[0]
 
     def get_or_fetch(self, node: NodeId) -> float:
         """Cached value if present, else fetch (for non-hot-path callers)."""
@@ -86,18 +123,29 @@ class CachedAvailabilityView:
         return self.fetch(node)
 
     def entry(self, node: NodeId) -> Optional[CacheEntry]:
-        return self._entries.get(node)
+        if self._pending:
+            self._fold_pending()
+        entry = self._entries.get(node)
+        return None if entry is None else CacheEntry(*entry)
 
     def staleness(self, node: NodeId) -> Optional[float]:
         """Seconds since the value for ``node`` was fetched, or None."""
+        if self._pending:
+            self._fold_pending()
         entry = self._entries.get(node)
-        return None if entry is None else entry.age(self._sim.now)
+        return None if entry is None else self._sim.now - entry[1]
 
     def evict(self, node: NodeId) -> None:
+        if self._pending:
+            self._fold_pending()
         self._entries.pop(node, None)
 
     def __len__(self) -> int:
+        if self._pending:
+            self._fold_pending()
         return len(self._entries)
 
     def __contains__(self, node: NodeId) -> bool:
+        if self._pending:
+            self._fold_pending()
         return node in self._entries

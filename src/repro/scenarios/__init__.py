@@ -1,0 +1,60 @@
+"""Declarative churn/workload scenarios on a vectorized churn timeline.
+
+The paper evaluates AVMEM under exactly one workload (the Overnet
+trace).  This subsystem opens the harness to arbitrary availability
+workloads: a :class:`~repro.scenarios.spec.ScenarioSpec` declares a
+population, a churn generator, perturbation events, and an operation
+workload; compiling it yields a columnar
+:class:`~repro.churn.timeline.ChurnTimeline` that backs the simulation's
+:class:`~repro.churn.trace.ChurnTrace` and the monitoring oracle's batch
+queries.  The named catalogue lives in
+:mod:`repro.scenarios.registry`; ``repro scenario list`` prints it.
+"""
+
+from repro.scenarios.generators import (
+    RampProfile,
+    apply_blackout,
+    apply_flash_crowd,
+    markov_timeline,
+    pareto_sessions,
+    renewal_timeline,
+    weibull_sessions,
+)
+from repro.scenarios.registry import (
+    SCENARIOS,
+    get_scenario,
+    register,
+    scenario_names,
+)
+from repro.scenarios.spec import (
+    CHURN_MODELS,
+    PERTURBATION_KINDS,
+    ChurnModelSpec,
+    CompiledScenario,
+    PerturbationSpec,
+    PopulationSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "CompiledScenario",
+    "ChurnModelSpec",
+    "PopulationSpec",
+    "PerturbationSpec",
+    "WorkloadSpec",
+    "CHURN_MODELS",
+    "PERTURBATION_KINDS",
+    "SCENARIOS",
+    "register",
+    "get_scenario",
+    "scenario_names",
+    "RampProfile",
+    "markov_timeline",
+    "renewal_timeline",
+    "weibull_sessions",
+    "pareto_sessions",
+    "apply_flash_crowd",
+    "apply_blackout",
+]

@@ -1,0 +1,299 @@
+"""Session generators and perturbations for scenario compilation.
+
+Three churn-generation families, all producing a columnar
+:class:`~repro.churn.timeline.ChurnTimeline`:
+
+* **Epoch Markov chains** (:func:`markov_timeline`) — the seed's
+  two-state per-epoch model (optionally diurnal or ramped), matching the
+  synthetic Overnet generator's machinery.
+* **Alternating renewal processes** (:func:`renewal_timeline`) —
+  continuous-time session/gap sampling with pluggable session-length
+  distributions (:func:`weibull_sessions`, :func:`pareto_sessions`);
+  the gap rate is solved from each node's target availability so the
+  long-run fraction uptime stays calibrated.
+* **Perturbations** (:func:`apply_flash_crowd`, :func:`apply_blackout`)
+  — correlated mass joins/departures layered over any base timeline as
+  pure array edits (interval add with merge / interval subtract with
+  split).
+
+These are the building blocks :class:`~repro.scenarios.spec.ScenarioSpec`
+compiles from; they are also directly usable (the ``repro trace
+--model`` CLI path does).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.churn.models import DiurnalProfile, sample_epoch_matrix, scaled_session_epochs
+from repro.churn.timeline import ChurnTimeline
+from repro.util.validation import check_positive, check_probability
+
+__all__ = [
+    "RampProfile",
+    "markov_timeline",
+    "renewal_timeline",
+    "weibull_sessions",
+    "pareto_sessions",
+    "apply_flash_crowd",
+    "apply_blackout",
+]
+
+#: sampler(count, mean_seconds, rng) -> session lengths in seconds
+SessionSampler = Callable[[int, float, np.random.Generator], np.ndarray]
+
+
+@dataclass(frozen=True)
+class RampProfile:
+    """Linear on-probability ramp over the trace horizon.
+
+    The multiplier rises (or falls) linearly from ``start_multiplier``
+    at t = 0 to ``end_multiplier`` at t = ``horizon`` — the
+    "availability-ramp" workload where the population's effective
+    availability drifts over the measurement period.  Duck-type
+    compatible with :class:`~repro.churn.models.DiurnalProfile` (the
+    Markov sampler only calls ``multiplier``).
+    """
+
+    start_multiplier: float
+    end_multiplier: float
+    horizon: float
+
+    def __post_init__(self):
+        check_positive(self.start_multiplier, "start_multiplier")
+        check_positive(self.end_multiplier, "end_multiplier")
+        check_positive(self.horizon, "ramp horizon")
+
+    def multiplier(self, time_seconds: float) -> float:
+        frac = min(1.0, max(0.0, time_seconds / self.horizon))
+        return self.start_multiplier + frac * (
+            self.end_multiplier - self.start_multiplier
+        )
+
+
+# ----------------------------------------------------------------------
+# Epoch-level Markov generation (the seed model, timeline-shaped)
+# ----------------------------------------------------------------------
+def markov_timeline(
+    availabilities: np.ndarray,
+    epochs: int,
+    epoch_seconds: float,
+    rng: np.random.Generator,
+    mean_online_epochs: float = 3.0,
+    session_scaling: bool = True,
+    diurnal: Optional[DiurnalProfile] = None,
+    diurnal_fraction: float = 0.0,
+    profile=None,
+) -> ChurnTimeline:
+    """Sample a per-epoch Markov presence matrix and lift it to a timeline.
+
+    ``profile`` (any object with a ``multiplier(t)`` method, e.g.
+    :class:`RampProfile`) applies to *every* node; ``diurnal`` +
+    ``diurnal_fraction`` follow the Overnet generator's convention of
+    modulating only a random subset.
+    """
+    if profile is not None:
+        matrix = sample_epoch_matrix(
+            availabilities,
+            epochs=epochs,
+            rng=rng,
+            mean_online_epochs=mean_online_epochs,
+            epoch_seconds=epoch_seconds,
+            diurnal=profile,
+            diurnal_fraction=1.0,
+            session_scaling=session_scaling,
+        )
+    else:
+        matrix = sample_epoch_matrix(
+            availabilities,
+            epochs=epochs,
+            rng=rng,
+            mean_online_epochs=mean_online_epochs,
+            epoch_seconds=epoch_seconds,
+            diurnal=diurnal,
+            diurnal_fraction=diurnal_fraction,
+            session_scaling=session_scaling,
+        )
+    return ChurnTimeline.from_matrix(matrix, epoch_seconds)
+
+
+# ----------------------------------------------------------------------
+# Continuous-time alternating renewal generation
+# ----------------------------------------------------------------------
+def weibull_sessions(count: int, mean_seconds: float, rng: np.random.Generator,
+                     shape: float = 0.6) -> np.ndarray:
+    """Weibull-distributed session lengths with the given mean.
+
+    ``shape < 1`` gives the heavy-ish tail measurement studies report for
+    p2p session lengths (many short sessions, a long stable tail)."""
+    scale = mean_seconds / math.gamma(1.0 + 1.0 / shape)
+    return scale * rng.weibull(shape, count)
+
+
+def pareto_sessions(count: int, mean_seconds: float, rng: np.random.Generator,
+                    shape: float = 1.5) -> np.ndarray:
+    """Pareto (power-law) session lengths with the given mean.
+
+    Requires ``shape > 1`` for a finite mean; the scale ``x_m`` is solved
+    from ``mean = x_m * shape / (shape - 1)``."""
+    if shape <= 1.0:
+        raise ValueError(f"pareto shape must be > 1 for a finite mean, got {shape}")
+    x_m = mean_seconds * (shape - 1.0) / shape
+    return x_m * (1.0 + rng.pareto(shape, count))
+
+
+def renewal_timeline(
+    availabilities: np.ndarray,
+    horizon: float,
+    rng: np.random.Generator,
+    session_sampler: SessionSampler,
+    mean_session_seconds: float = 3600.0,
+    session_scaling: bool = True,
+) -> ChurnTimeline:
+    """Alternating renewal process per node: online sessions drawn from
+    ``session_sampler``, offline gaps exponential with the rate solved
+    from the node's target availability (``E[gap] = E[session]·(1−a)/a``),
+    so long-run fraction uptime calibrates to ``availabilities``.
+
+    With ``session_scaling``, a node's mean session length grows as
+    ``1/(1−a)`` (capped at a third of the horizon) — stable hosts stay up
+    for long stretches, mirroring
+    :func:`~repro.churn.models.scaled_session_epochs`.
+
+    Each node starts in its stationary state: online with probability
+    ``a`` (entering mid-session), offline otherwise.
+    """
+    check_positive(horizon, "horizon")
+    check_positive(mean_session_seconds, "mean_session_seconds")
+    availabilities = np.asarray(availabilities, dtype=float)
+    n = availabilities.size
+    cap = max(horizon / 3.0, mean_session_seconds)
+    node_chunks: list = []
+    start_chunks: list = []
+    end_chunks: list = []
+    start_online = rng.random(n) < availabilities
+    for i in range(n):
+        a = float(availabilities[i])
+        if a <= 0.0:
+            continue
+        mean_session = (
+            scaled_session_epochs(a, mean_session_seconds, cap)
+            if session_scaling
+            else mean_session_seconds
+        )
+        if a >= 1.0:
+            node_chunks.append(np.array([i], dtype=np.int64))
+            start_chunks.append(np.array([0.0]))
+            end_chunks.append(np.array([horizon]))
+            continue
+        mean_gap = mean_session * (1.0 - a) / a
+        mean_cycle = mean_session + mean_gap
+        sessions_parts = []
+        gaps_parts = []
+        covered = 0.0
+        while covered < horizon:
+            k = max(8, int((horizon - covered) / mean_cycle * 1.5) + 4)
+            sessions_parts.append(session_sampler(k, mean_session, rng))
+            gaps_parts.append(rng.exponential(mean_gap, k))
+            covered += float(sessions_parts[-1].sum() + gaps_parts[-1].sum())
+        sessions = np.concatenate(sessions_parts)
+        gaps = np.concatenate(gaps_parts)
+        if start_online[i]:
+            gaps[0] = 0.0  # stationary start: already inside a session
+        cycle_ends = np.cumsum(gaps + sessions)
+        starts = cycle_ends - sessions
+        ends = np.minimum(cycle_ends, horizon)
+        keep = starts < horizon
+        starts, ends = starts[keep], ends[keep]
+        keep = ends > starts
+        starts, ends = starts[keep], ends[keep]
+        if starts.size:
+            node_chunks.append(np.full(starts.size, i, dtype=np.int64))
+            start_chunks.append(starts)
+            end_chunks.append(ends)
+    if node_chunks:
+        node_index = np.concatenate(node_chunks)
+        starts = np.concatenate(start_chunks)
+        ends = np.concatenate(end_chunks)
+    else:
+        node_index = np.zeros(0, dtype=np.int64)
+        starts = np.zeros(0)
+        ends = np.zeros(0)
+    return ChurnTimeline(n, horizon, node_index, starts, ends)
+
+
+# ----------------------------------------------------------------------
+# Perturbations: correlated events layered over a base timeline
+# ----------------------------------------------------------------------
+def _select_nodes(
+    timeline: ChurnTimeline, fraction: float, rng: np.random.Generator
+) -> np.ndarray:
+    check_probability(fraction, "perturbation fraction")
+    count = int(round(fraction * timeline.n_nodes))
+    return rng.choice(timeline.n_nodes, size=count, replace=False)
+
+
+def apply_flash_crowd(
+    timeline: ChurnTimeline,
+    time: float,
+    duration: float,
+    fraction: float,
+    rng: np.random.Generator,
+) -> ChurnTimeline:
+    """Mass correlated join: ``fraction`` of the population is online for
+    ``[time, time + duration]`` regardless of its base schedule (a flash
+    crowd / coordinated deployment wave).  Overlaps with existing
+    sessions are merged by the timeline's normalization."""
+    check_positive(duration, "flash crowd duration")
+    selected = _select_nodes(timeline, fraction, rng)
+    if not selected.size:
+        return timeline
+    end = min(float(time) + float(duration), timeline.horizon)
+    if end <= time:
+        return timeline
+    node_index = np.concatenate([timeline.node_index, selected.astype(np.int64)])
+    starts = np.concatenate([timeline.starts, np.full(selected.size, float(time))])
+    ends = np.concatenate([timeline.ends, np.full(selected.size, end)])
+    return ChurnTimeline(timeline.n_nodes, timeline.horizon, node_index, starts, ends)
+
+
+def apply_blackout(
+    timeline: ChurnTimeline,
+    time: float,
+    duration: float,
+    fraction: float,
+    rng: np.random.Generator,
+) -> ChurnTimeline:
+    """Mass correlated departure: ``fraction`` of the population is
+    forced offline during ``[time, time + duration]`` (rack failure /
+    partition).  Sessions overlapping the outage are clipped or split —
+    a session spanning the whole outage yields two."""
+    check_positive(duration, "blackout duration")
+    selected = _select_nodes(timeline, fraction, rng)
+    if not selected.size:
+        return timeline
+    t0 = float(time)
+    t1 = min(t0 + float(duration), timeline.horizon)
+    affected = np.isin(timeline.node_index, selected)
+    keep_node = timeline.node_index[~affected]
+    keep_starts = timeline.starts[~affected]
+    keep_ends = timeline.ends[~affected]
+    a_node = timeline.node_index[affected]
+    a_starts = timeline.starts[affected]
+    a_ends = timeline.ends[affected]
+    # Each affected session contributes up to two pieces: the part before
+    # the outage and the part after it.
+    left_starts, left_ends = a_starts, np.minimum(a_ends, t0)
+    right_starts, right_ends = np.maximum(a_starts, t1), a_ends
+    node_index = np.concatenate([keep_node, a_node, a_node])
+    starts = np.concatenate([keep_starts, left_starts, right_starts])
+    ends = np.concatenate([keep_ends, left_ends, right_ends])
+    keep = ends > starts
+    return ChurnTimeline(
+        timeline.n_nodes, timeline.horizon,
+        node_index[keep], starts[keep], ends[keep],
+    )

@@ -1,0 +1,167 @@
+"""The named scenario catalogue.
+
+Every entry is a :class:`~repro.scenarios.spec.ScenarioSpec` registered
+under a stable name; the harness
+(:func:`repro.experiments.harness.build_simulation` /
+:func:`~repro.experiments.harness.run_scenario`), the ``repro scenario``
+CLI, the scenario benchmarks, and the property-test suite all iterate
+this registry — registering a spec is all it takes to make a new
+workload runnable, benchable, and CI-smoked.
+
+Built-ins (see docs/scenarios.md for the full catalogue description):
+
+========================  ====================================================
+name                      what it stresses
+========================  ====================================================
+``overnet-replay``        the paper's baseline Overnet-like trace
+``weibull-lifetimes``     heavy-ish Weibull session lengths (continuous time)
+``pareto-heavy-tail``     power-law sessions: many flappers, a stable core
+``diurnal``               strong day/night swings across most of the pop.
+``flash-crowd``           mass correlated join mid-trace
+``blackout``              correlated mass departure (rack failure)
+``availability-ramp``     population availability drifting up over the trace
+``stable-core``           high-availability, low-churn control population
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.scenarios.spec import (
+    ChurnModelSpec,
+    PerturbationSpec,
+    PopulationSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+)
+
+__all__ = ["SCENARIOS", "register", "get_scenario", "scenario_names"]
+
+SCENARIOS: Dict[str, ScenarioSpec] = {}
+
+
+def register(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+    """Add ``spec`` to the catalogue (refuses silent overwrites)."""
+    if not replace and spec.name in SCENARIOS:
+        raise ValueError(f"scenario {spec.name!r} already registered")
+    SCENARIOS[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; registered: {scenario_names()}"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    return sorted(SCENARIOS)
+
+
+# ----------------------------------------------------------------------
+# Built-in catalogue
+# ----------------------------------------------------------------------
+register(ScenarioSpec(
+    name="overnet-replay",
+    description=(
+        "The paper's baseline: Overnet-calibrated Beta-mixture "
+        "availabilities, epoch Markov churn, partial diurnal modulation."
+    ),
+    churn=ChurnModelSpec(
+        model="markov", mean_session_epochs=3.0,
+        diurnal_amplitude=0.3, diurnal_fraction=0.4,
+    ),
+    population=PopulationSpec(distribution="overnet"),
+))
+
+register(ScenarioSpec(
+    name="weibull-lifetimes",
+    description=(
+        "Continuous-time Weibull(k=0.6) session lengths over the Overnet "
+        "availability mixture — many short sessions, a long stable tail."
+    ),
+    churn=ChurnModelSpec(model="weibull", shape=0.6, mean_session_epochs=3.0),
+    population=PopulationSpec(distribution="overnet"),
+))
+
+register(ScenarioSpec(
+    name="pareto-heavy-tail",
+    description=(
+        "Power-law Pareto(α=1.5) sessions: extreme session-length "
+        "skew — a flapping majority and a near-permanent core."
+    ),
+    churn=ChurnModelSpec(model="pareto", shape=1.5, mean_session_epochs=3.0),
+    population=PopulationSpec(distribution="overnet"),
+))
+
+register(ScenarioSpec(
+    name="diurnal",
+    description=(
+        "Strong day/night population swings: 60% amplitude on 90% of "
+        "the population (the online population more than halves at night)."
+    ),
+    churn=ChurnModelSpec(
+        model="markov", mean_session_epochs=3.0,
+        diurnal_amplitude=0.6, diurnal_fraction=0.9,
+    ),
+    population=PopulationSpec(distribution="overnet"),
+    calibration_tolerance=0.10,
+))
+
+register(ScenarioSpec(
+    name="flash-crowd",
+    description=(
+        "Mass correlated join: 60% of the population comes online "
+        "together at 60% of the horizon for 5% of it."
+    ),
+    churn=ChurnModelSpec(model="markov", mean_session_epochs=3.0),
+    population=PopulationSpec(distribution="overnet"),
+    perturbations=(
+        PerturbationSpec(kind="flash-crowd", at=0.6, duration=0.05, fraction=0.6),
+    ),
+    workload=WorkloadSpec(anycasts=8, multicasts=2),
+    calibration_tolerance=None,
+))
+
+register(ScenarioSpec(
+    name="blackout",
+    description=(
+        "Correlated mass departure (rack failure): 35% of the population "
+        "is forced offline at 60% of the horizon for 5% of it."
+    ),
+    churn=ChurnModelSpec(model="markov", mean_session_epochs=3.0),
+    population=PopulationSpec(distribution="overnet"),
+    perturbations=(
+        PerturbationSpec(kind="blackout", at=0.6, duration=0.05, fraction=0.35),
+    ),
+    workload=WorkloadSpec(anycasts=8, multicasts=2),
+    calibration_tolerance=None,
+))
+
+register(ScenarioSpec(
+    name="availability-ramp",
+    description=(
+        "Population availability drifts upward across the trace (the "
+        "on-probability multiplier ramps 0.5 → 1.6): availability "
+        "estimates made early are systematically stale late."
+    ),
+    churn=ChurnModelSpec(model="markov", mean_session_epochs=3.0, ramp=(0.5, 1.6)),
+    population=PopulationSpec(distribution="overnet"),
+    calibration_tolerance=None,
+))
+
+register(ScenarioSpec(
+    name="stable-core",
+    description=(
+        "High-availability, low-churn control population (uniform "
+        "availabilities in [0.7, 0.95], long Weibull sessions) — the "
+        "cooperative baseline management overlays are usually built for."
+    ),
+    churn=ChurnModelSpec(model="weibull", shape=1.0, mean_session_epochs=12.0),
+    population=PopulationSpec(distribution="uniform", low=0.7, high=0.95),
+    workload=WorkloadSpec(anycasts=6, multicasts=2, target=(0.75, 0.95)),
+))

@@ -1,0 +1,289 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` names everything one evaluation workload needs:
+
+* a **population** — how per-node target availabilities are drawn
+  (:class:`PopulationSpec`);
+* a **churn generator** — which session process realizes those targets
+  (:class:`ChurnModelSpec`: epoch Markov chains, Weibull or Pareto
+  renewal processes, optional diurnal/ramp modulation);
+* **perturbation events** — correlated mass joins/departures layered on
+  top (:class:`PerturbationSpec`, with times expressed as fractions of
+  the horizon so specs scale);
+* an **operation workload** — the management operations to launch once
+  the system is warm (:class:`WorkloadSpec`).
+
+Specs are population-size agnostic: :meth:`ScenarioSpec.compile` takes
+``hosts``/``epochs``/``epoch_seconds`` (usually from an experiment
+scale) and produces a :class:`CompiledScenario` — the columnar
+:class:`~repro.churn.timeline.ChurnTimeline` plus the sampled per-node
+availability targets, ready to back a
+:class:`~repro.churn.trace.ChurnTrace` or feed calibration checks.
+
+The built-in catalogue lives in :mod:`repro.scenarios.registry`; adding
+a workload means writing one spec, not new plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.churn.models import DiurnalProfile
+from repro.churn.overnet import DEFAULT_MIXTURE, sample_availabilities
+from repro.churn.timeline import ChurnTimeline
+from repro.churn.trace import ChurnTrace
+from repro.scenarios.generators import (
+    RampProfile,
+    apply_blackout,
+    apply_flash_crowd,
+    markov_timeline,
+    pareto_sessions,
+    renewal_timeline,
+    weibull_sessions,
+)
+from repro.util.validation import check_positive, check_probability
+
+__all__ = [
+    "PopulationSpec",
+    "ChurnModelSpec",
+    "PerturbationSpec",
+    "WorkloadSpec",
+    "ScenarioSpec",
+    "CompiledScenario",
+    "CHURN_MODELS",
+    "PERTURBATION_KINDS",
+]
+
+CHURN_MODELS = ("markov", "weibull", "pareto")
+PERTURBATION_KINDS = ("flash-crowd", "blackout")
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """How per-node long-run availability targets are drawn.
+
+    ``distribution``:
+
+    * ``"overnet"`` — the calibrated two-component Beta mixture
+      (:data:`repro.churn.overnet.DEFAULT_MIXTURE`);
+    * ``"uniform"`` — uniform on ``[low, high]``;
+    * ``"fixed"`` — every node targets ``(low + high) / 2``.
+    """
+
+    distribution: str = "overnet"
+    low: float = 0.05
+    high: float = 0.95
+
+    def __post_init__(self):
+        if self.distribution not in ("overnet", "uniform", "fixed"):
+            raise ValueError(
+                f"unknown availability distribution {self.distribution!r}"
+            )
+        check_probability(self.low, "low")
+        check_probability(self.high, "high")
+        if self.low > self.high:
+            raise ValueError(f"low ({self.low}) must be <= high ({self.high})")
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if self.distribution == "overnet":
+            return sample_availabilities(n, rng, DEFAULT_MIXTURE)
+        if self.distribution == "uniform":
+            return rng.uniform(self.low, self.high, n)
+        return np.full(n, (self.low + self.high) / 2.0)
+
+
+@dataclass(frozen=True)
+class ChurnModelSpec:
+    """Which session process realizes the availability targets.
+
+    ``model`` is one of :data:`CHURN_MODELS`.  ``shape`` parameterizes
+    the renewal models (Weibull k / Pareto α) and is ignored by
+    ``"markov"``.  ``ramp`` (multiplier endpoints over the horizon)
+    and ``diurnal_*`` modulate the Markov chain's on-probability;
+    ``ramp`` takes precedence when both are set.
+    """
+
+    model: str = "markov"
+    mean_session_epochs: float = 3.0
+    session_scaling: bool = True
+    shape: float = 0.6
+    diurnal_amplitude: float = 0.0
+    diurnal_fraction: float = 0.0
+    ramp: Optional[Tuple[float, float]] = None
+
+    def __post_init__(self):
+        if self.model not in CHURN_MODELS:
+            raise ValueError(
+                f"model must be one of {CHURN_MODELS}, got {self.model!r}"
+            )
+        check_positive(self.mean_session_epochs, "mean_session_epochs")
+        check_positive(self.shape, "shape")
+        check_probability(self.diurnal_amplitude, "diurnal_amplitude")
+        check_probability(self.diurnal_fraction, "diurnal_fraction")
+        if self.ramp is not None:
+            check_positive(self.ramp[0], "ramp start multiplier")
+            check_positive(self.ramp[1], "ramp end multiplier")
+
+    def generate(
+        self,
+        availabilities: np.ndarray,
+        epochs: int,
+        epoch_seconds: float,
+        rng: np.random.Generator,
+    ) -> ChurnTimeline:
+        horizon = epochs * epoch_seconds
+        if self.model == "markov":
+            profile = (
+                RampProfile(self.ramp[0], self.ramp[1], horizon)
+                if self.ramp is not None
+                else None
+            )
+            diurnal = (
+                DiurnalProfile(amplitude=self.diurnal_amplitude)
+                if self.diurnal_amplitude > 0
+                else None
+            )
+            return markov_timeline(
+                availabilities,
+                epochs=epochs,
+                epoch_seconds=epoch_seconds,
+                rng=rng,
+                mean_online_epochs=self.mean_session_epochs,
+                session_scaling=self.session_scaling,
+                diurnal=diurnal,
+                diurnal_fraction=self.diurnal_fraction,
+                profile=profile,
+            )
+        sampler = (
+            (lambda count, mean, r: weibull_sessions(count, mean, r, self.shape))
+            if self.model == "weibull"
+            else (lambda count, mean, r: pareto_sessions(count, mean, r, self.shape))
+        )
+        return renewal_timeline(
+            availabilities,
+            horizon=horizon,
+            rng=rng,
+            session_sampler=sampler,
+            mean_session_seconds=self.mean_session_epochs * epoch_seconds,
+            session_scaling=self.session_scaling,
+        )
+
+
+@dataclass(frozen=True)
+class PerturbationSpec:
+    """One correlated event, with times as fractions of the horizon.
+
+    ``kind`` is one of :data:`PERTURBATION_KINDS`; ``at`` places the
+    event, ``duration`` sizes it (both fractions of the horizon), and
+    ``fraction`` selects how much of the population it touches.
+    """
+
+    kind: str
+    at: float
+    duration: float
+    fraction: float
+
+    def __post_init__(self):
+        if self.kind not in PERTURBATION_KINDS:
+            raise ValueError(
+                f"kind must be one of {PERTURBATION_KINDS}, got {self.kind!r}"
+            )
+        check_probability(self.at, "at")
+        check_probability(self.duration, "duration")
+        check_positive(self.duration, "duration")
+        check_probability(self.fraction, "fraction")
+
+    def apply(
+        self, timeline: ChurnTimeline, rng: np.random.Generator
+    ) -> ChurnTimeline:
+        time = self.at * timeline.horizon
+        duration = self.duration * timeline.horizon
+        if self.kind == "flash-crowd":
+            return apply_flash_crowd(timeline, time, duration, self.fraction, rng)
+        return apply_blackout(timeline, time, duration, self.fraction, rng)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The management operations a scenario run launches after warm-up."""
+
+    anycasts: int = 6
+    multicasts: int = 2
+    target: Tuple[float, float] = (0.6, 0.9)
+    anycast_band: str = "mid"
+    multicast_band: str = "high"
+    anycast_policy: str = "greedy"
+    anycast_retry: Optional[int] = None
+    multicast_mode: str = "flood"
+
+    def __post_init__(self):
+        if self.anycasts < 0 or self.multicasts < 0:
+            raise ValueError("operation counts must be non-negative")
+        lo, hi = self.target
+        check_probability(lo, "target low")
+        if not 0.0 <= hi <= 1.0 + 1e-12:
+            raise ValueError(f"target high must be in [0, 1], got {hi}")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, named, scale-agnostic evaluation workload."""
+
+    name: str
+    description: str
+    churn: ChurnModelSpec = field(default_factory=ChurnModelSpec)
+    population: PopulationSpec = field(default_factory=PopulationSpec)
+    perturbations: Tuple[PerturbationSpec, ...] = ()
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    #: Allowed |mean lifetime availability − mean target|; None skips the
+    #: calibration property test (perturbed scenarios distort on purpose).
+    calibration_tolerance: Optional[float] = 0.08
+
+    def compile(
+        self,
+        hosts: int,
+        epochs: int,
+        epoch_seconds: float = 1200.0,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ) -> "CompiledScenario":
+        """Realize the spec at a concrete scale.
+
+        Samples availability targets, generates the base timeline, and
+        applies the perturbation events in order.
+        """
+        if hosts <= 0:
+            raise ValueError(f"hosts must be positive, got {hosts}")
+        if epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {epochs}")
+        check_positive(epoch_seconds, "epoch_seconds")
+        if rng is not None and seed is not None:
+            raise ValueError("pass either rng or seed, not both")
+        if rng is None:
+            rng = np.random.default_rng(0 if seed is None else seed)
+        targets = self.population.sample(hosts, rng)
+        timeline = self.churn.generate(targets, epochs, epoch_seconds, rng)
+        for perturbation in self.perturbations:
+            timeline = perturbation.apply(timeline, rng)
+        return CompiledScenario(spec=self, timeline=timeline, targets=targets)
+
+
+@dataclass(frozen=True)
+class CompiledScenario:
+    """A spec realized at one scale: the timeline plus its targets."""
+
+    spec: ScenarioSpec
+    timeline: ChurnTimeline
+    targets: np.ndarray
+
+    def to_trace(self, node_keys: Optional[Sequence] = None) -> ChurnTrace:
+        """A :class:`~repro.churn.trace.ChurnTrace` over the timeline."""
+        return self.timeline.to_trace(node_keys)
+
+    def calibration_error(self) -> float:
+        """|mean realized lifetime availability − mean target|."""
+        realized = self.timeline.lifetime_availability_array()
+        return abs(float(realized.mean()) - float(self.targets.mean()))

@@ -80,6 +80,10 @@ class SimulationSettings:
     epochs: int = 504
     epoch_seconds: float = 1200.0
     seed: int = 0
+    #: name of a registered scenario (repro.scenarios.registry) that
+    #: generates the churn workload; None keeps the paper's Overnet-like
+    #: default trace (byte-identical to the pre-scenario behaviour)
+    scenario: Optional[str] = None
     config: AvmemConfig = field(default_factory=AvmemConfig)
     #: "paper" (I.B + II.B) or "random" (degree-matched f = p baseline)
     predicate_kind: str = "paper"
@@ -152,16 +156,29 @@ class AvmemSimulation:
     def _build(self) -> None:
         s = self.settings
         self.node_ids: List[NodeId] = make_node_ids(s.hosts)
-        trace_config = OvernetTraceConfig(
-            hosts=s.hosts,
-            epochs=s.epochs,
-            epoch_seconds=s.epoch_seconds,
-            diurnal_amplitude=s.diurnal_amplitude,
-            diurnal_fraction=s.diurnal_fraction,
-        )
-        self.trace: ChurnTrace = generate_overnet_trace(
-            node_keys=self.node_ids, config=trace_config, rng=self._router.get("churn")
-        )
+        self.scenario_spec = None
+        if s.scenario is not None:
+            from repro.scenarios.registry import get_scenario
+
+            self.scenario_spec = get_scenario(s.scenario)
+            compiled = self.scenario_spec.compile(
+                hosts=s.hosts,
+                epochs=s.epochs,
+                epoch_seconds=s.epoch_seconds,
+                rng=self._router.get("churn"),
+            )
+            self.trace: ChurnTrace = compiled.to_trace(self.node_ids)
+        else:
+            trace_config = OvernetTraceConfig(
+                hosts=s.hosts,
+                epochs=s.epochs,
+                epoch_seconds=s.epoch_seconds,
+                diurnal_amplitude=s.diurnal_amplitude,
+                diurnal_fraction=s.diurnal_fraction,
+            )
+            self.trace = generate_overnet_trace(
+                node_keys=self.node_ids, config=trace_config, rng=self._router.get("churn")
+            )
         self.sim = Simulator()
         self.network = Network(
             self.sim,

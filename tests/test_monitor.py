@@ -62,10 +62,13 @@ class TestOracle:
         trace, ids = trace_and_ids
         sim = Simulator()
         oracle = OracleAvailability(trace, sim, noise_std=0.05, noise_bucket=10.0, seed=3)
-        sim.run_until(50.0)
-        a = oracle.query(ids[2])
-        sim.run_until(61.0)
-        b = oracle.query(ids[2])
+        # Compare the applied noise (noisy minus exact) for a node whose
+        # estimate is not clipped at 0/1, so re-drawn bucket noise is
+        # observable rather than masked by saturation.
+        sim.run_until(55.0)
+        a = oracle.query(ids[1]) - oracle.true_availability(ids[1])
+        sim.run_until(65.0)
+        b = oracle.query(ids[1]) - oracle.true_availability(ids[1])
         assert a != b
 
     def test_quantization(self, trace_and_ids):

@@ -11,6 +11,7 @@ PACKAGES = [
     "repro.core",
     "repro.sim",
     "repro.churn",
+    "repro.scenarios",
     "repro.monitor",
     "repro.overlays",
     "repro.ops",

@@ -1,0 +1,213 @@
+"""Property tests for the columnar :class:`ChurnTimeline`.
+
+The timeline is the batch-query backend behind ``ChurnTrace``, the
+monitoring oracle, and every compiled scenario, so its contract is
+equivalence: for any session layout and any query, the batched answer
+must match the scalar :class:`NodeSchedule` answer entry for entry.
+Hypothesis drives both the layouts (including overlapping/touching
+inputs that exercise normalization) and the query times (including
+boundary values).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.churn.timeline import ChurnTimeline
+from repro.churn.trace import ChurnTrace, NodeSchedule
+
+HORIZON = 1000.0
+
+# Raw, possibly overlapping/touching/zero-length intervals inside the
+# horizon; the timeline and NodeSchedule must normalize them identically.
+interval = st.tuples(
+    st.floats(0.0, HORIZON, allow_nan=False, width=32),
+    st.floats(0.0, HORIZON, allow_nan=False, width=32),
+).map(lambda pair: (min(pair), max(pair)))
+
+interval_lists = st.lists(st.lists(interval, max_size=8), min_size=1, max_size=6)
+
+query_times = st.lists(
+    st.one_of(
+        st.floats(0.0, HORIZON, allow_nan=False, width=32),
+        st.sampled_from([0.0, 1.0, HORIZON / 2, HORIZON - 1.0, HORIZON]),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+def make_pair(lists):
+    """(timeline, parallel NodeSchedules) over the same interval lists."""
+    timeline = ChurnTimeline.from_interval_lists(lists, HORIZON)
+    schedules = [NodeSchedule(intervals) for intervals in lists]
+    return timeline, schedules
+
+
+class TestStructure:
+    @given(lists=interval_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_sessions_disjoint_sorted_per_node(self, lists):
+        timeline, schedules = make_pair(lists)
+        timeline.validate()
+        # Normalization parity: the per-node sessions equal NodeSchedule's.
+        for i, schedule in enumerate(schedules):
+            starts, ends = timeline.sessions_of(i)
+            assert tuple(zip(starts.tolist(), ends.tolist())) == schedule.intervals
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            ChurnTimeline(2, 100.0, np.array([0]), np.array([0.0, 1.0]), np.array([2.0]))
+        with pytest.raises(ValueError):
+            ChurnTimeline(1, 100.0, np.array([3]), np.array([0.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            ChurnTimeline(1, 100.0, np.array([0]), np.array([5.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            ChurnTimeline(1, 0.0, np.array([], dtype=int), np.array([]), np.array([]))
+
+    def test_out_of_horizon_sessions_tolerated_but_fail_validate(self):
+        # ChurnTrace always accepted schedules that spill past the
+        # horizon; the timeline must answer for them too, while
+        # validate() (the scenario-compilation contract) still objects.
+        timeline = ChurnTimeline(
+            1, 50.0, np.array([0]), np.array([-10.0]), np.array([100.0])
+        )
+        assert timeline.online_mask(25.0)[0]
+        assert timeline.is_online_array(np.array([0]), 80.0)[0]
+        assert timeline.uptime_array(np.array([0]), 50.0)[0] == pytest.approx(50.0)
+        assert timeline.lifetime_availability_array()[0] == pytest.approx(1.0)
+        with pytest.raises(AssertionError):
+            timeline.validate()
+
+    def test_trace_with_overlong_schedule_answers_batch_queries(self):
+        trace = ChurnTrace({"a": NodeSchedule([(0.0, 100.0)])}, horizon=50.0)
+        assert trace.online_nodes(10.0) == ["a"]
+        assert trace.online_count(60.0) == 1
+        assert trace.availabilities()["a"] == pytest.approx(1.0)
+
+    def test_merges_overlapping_sessions(self):
+        timeline = ChurnTimeline(
+            1, 100.0,
+            np.array([0, 0, 0]),
+            np.array([0.0, 5.0, 30.0]),
+            np.array([10.0, 20.0, 40.0]),
+        )
+        starts, ends = timeline.sessions_of(0)
+        assert starts.tolist() == [0.0, 30.0]
+        assert ends.tolist() == [20.0, 40.0]
+
+    def test_empty_timeline(self):
+        timeline = ChurnTimeline(
+            3, 50.0, np.array([], dtype=int), np.array([]), np.array([])
+        )
+        timeline.validate()
+        assert not timeline.online_mask(10.0).any()
+        assert timeline.availability_array(np.arange(3), 25.0).tolist() == [0.0] * 3
+
+
+class TestQueryParity:
+    @given(lists=interval_lists, times=query_times)
+    @settings(max_examples=120, deadline=None)
+    def test_presence_matches_schedules(self, lists, times):
+        timeline, schedules = make_pair(lists)
+        nodes = np.arange(len(lists), dtype=np.int64)
+        for t in times:
+            mask = timeline.online_mask(t)
+            batch = timeline.is_online_array(nodes, t)
+            scalar = [s.is_online(t) for s in schedules]
+            assert mask.tolist() == scalar
+            assert batch.tolist() == scalar
+
+    @given(lists=interval_lists, times=query_times)
+    @settings(max_examples=120, deadline=None)
+    def test_uptime_and_availability_match_schedules(self, lists, times):
+        timeline, schedules = make_pair(lists)
+        nodes = np.arange(len(lists), dtype=np.int64)
+        for t in times:
+            up = timeline.uptime_array(nodes, t)
+            scalar_up = [s.uptime(t) for s in schedules]
+            assert np.allclose(up, scalar_up, rtol=0.0, atol=1e-6)
+            av = timeline.availability_array(nodes, t)
+            scalar_av = [s.availability(t) for s in schedules]
+            assert np.allclose(av, scalar_av, rtol=0.0, atol=1e-9)
+
+    @given(lists=interval_lists, times=query_times, window=st.floats(1.0, HORIZON))
+    @settings(max_examples=100, deadline=None)
+    def test_windowed_availability_matches_schedules(self, lists, times, window):
+        timeline, schedules = make_pair(lists)
+        nodes = np.arange(len(lists), dtype=np.int64)
+        for t in times:
+            got = timeline.windowed_availability_array(nodes, t, window)
+            since = max(0.0, t - window)
+            want = [s.availability(t, since) for s in schedules]
+            assert np.allclose(got, want, rtol=0.0, atol=1e-9)
+
+    @given(lists=interval_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_lifetime_availability(self, lists):
+        timeline, schedules = make_pair(lists)
+        got = timeline.lifetime_availability_array()
+        want = [s.availability(HORIZON) for s in schedules]
+        assert np.allclose(got, want, rtol=0.0, atol=1e-9)
+
+    def test_mixed_per_query_times(self):
+        timeline, schedules = make_pair([[(0.0, 100.0)], [(50.0, 80.0)]])
+        got = timeline.is_online_array(np.array([0, 1]), np.array([120.0, 60.0]))
+        assert got.tolist() == [False, True]
+        up = timeline.uptime_array(np.array([0, 1]), np.array([120.0, 60.0]))
+        assert np.allclose(up, [100.0, 10.0])
+
+    def test_negative_time_is_offline_with_zero_uptime(self):
+        timeline, _ = make_pair([[(0.0, 10.0)]])
+        assert not timeline.is_online_array(np.array([0]), -5.0)[0]
+        assert timeline.uptime_array(np.array([0]), 0.0, 0.0)[0] == 0.0
+
+    def test_uptime_rejects_reversed_window(self):
+        timeline, _ = make_pair([[(0.0, 10.0)]])
+        with pytest.raises(ValueError):
+            timeline.uptime_array(np.array([0]), 1.0, since=5.0)
+
+
+class TestMatrixRoundTrip:
+    @given(
+        matrix=st.lists(
+            st.lists(st.booleans(), min_size=3, max_size=3),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_from_matrix_matches_trace(self, matrix):
+        arr = np.array(matrix, dtype=bool)
+        epoch = 10.0
+        timeline = ChurnTimeline.from_matrix(arr, epoch)
+        timeline.validate()
+        trace = ChurnTrace.from_matrix(arr, ["a", "b", "c"], epoch)
+        probes = np.concatenate([
+            (np.arange(arr.shape[0]) + 0.5) * epoch,
+            np.arange(arr.shape[0] + 1, dtype=float) * epoch,
+        ])
+        for t in probes:
+            assert timeline.online_mask(t).tolist() == [
+                trace.is_online(k, t) for k in ("a", "b", "c")
+            ]
+
+    def test_availability_matrix_shapes_and_values(self):
+        timeline, schedules = make_pair([[(0.0, 500.0)], [(250.0, 1000.0)]])
+        times = [100.0, 500.0, 900.0]
+        raw = timeline.availability_matrix(times)
+        assert raw.shape == (3, 2)
+        for row, t in enumerate(times):
+            for i, schedule in enumerate(schedules):
+                assert raw[row, i] == pytest.approx(schedule.availability(t))
+        aged = timeline.availability_matrix(times, window=200.0)
+        for row, t in enumerate(times):
+            for i, schedule in enumerate(schedules):
+                want = schedule.availability(t, max(0.0, t - 200.0))
+                assert aged[row, i] == pytest.approx(want)
+
+    def test_online_mask_matrix(self):
+        timeline, _ = make_pair([[(0.0, 500.0)], [(250.0, 1000.0)]])
+        matrix = timeline.online_mask_matrix([100.0, 600.0])
+        assert matrix.tolist() == [[True, False], [False, True]]
