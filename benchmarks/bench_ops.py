@@ -1,0 +1,432 @@
+"""Operation-plan execution + columnar log aggregation sweep.
+
+Two families of timings:
+
+* **Log aggregation** — the figure/scenario metric math over N
+  operations, swept over N ∈ {1k, 10k, 50k} (override with ``--sizes``)
+  on synthetic seeded records:
+
+  - ``seed`` — the seed record-list path, preserved verbatim: Python
+    lists of ``AnycastRecord``/``MulticastRecord`` dataclasses reduced
+    with ``Counter``/list-comprehension math (the shapes
+    ``_anycast_common.status_fractions``, ``fig07``'s hop ``Counter``,
+    ``fig09``'s latency list and ``fig11-13``'s per-record metric
+    loops had before the redesign);
+  - ``log``  — the same metrics as vectorized reductions over the
+    columnar :class:`~repro.ops.log.OperationLog`.
+
+  Metric-for-metric parity is asserted on every run, and the log's
+  column values are checked record-for-record against the source
+  dataclasses.
+
+* **Plan execution** — a 40-anycast workload through the new
+  ``sim.ops.run(OperationPlan)`` path vs the preserved seed scalar
+  driver loop (pick initiator → ``engine.anycast`` → ``run_until``,
+  the exact shape of the seed ``run_anycast_batch``), on two
+  identically-seeded simulations; record-for-record parity asserted.
+  Both paths share the engine, so this tracks runner overhead, not a
+  speedup claim.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_ops.py
+    PYTHONPATH=src python benchmarks/bench_ops.py --sizes 1000 10000
+
+Acceptance bar: ≥ 3× log-over-seed aggregation speedup at N ≥ 10k
+(asserted whenever the sweep includes such an N).  Results are also
+written to ``benchmarks/results/BENCH_ops.json`` (:mod:`bench_util`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from collections import Counter
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from bench_util import emit_bench_json
+from repro.core.ids import make_node_ids
+from repro.ops.log import OperationLog
+from repro.ops.plan import OperationItem, OperationPlan, OperationTiming
+from repro.ops.results import AnycastRecord, AnycastStatus, MulticastRecord
+from repro.ops.spec import InitiatorBand, TargetSpec
+from repro.simulation import AvmemSimulation, SimulationSettings
+
+DEFAULT_SIZES = (1_000, 10_000, 50_000)
+BANDS = (InitiatorBand.LOW, InitiatorBand.MID, InitiatorBand.HIGH)
+HOP_LIMITS = (1, 2, 6)
+SPEEDUP_BAR = 3.0
+BAR_AT = 10_000
+
+
+def timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# Synthetic record population (seeded, status mix like a harsh target)
+# ----------------------------------------------------------------------
+def synthesize(n: int, seed: int):
+    """``n`` anycast records + ``n // 5`` multicast records + bands."""
+    rng = np.random.default_rng(seed)
+    ids = make_node_ids(256)
+    target = TargetSpec.range(0.15, 0.25)
+    statuses = (
+        AnycastStatus.DELIVERED,
+        AnycastStatus.TTL_EXPIRED,
+        AnycastStatus.RETRY_EXPIRED,
+        AnycastStatus.NO_NEIGHBOR,
+        AnycastStatus.LOST,
+    )
+    status_draw = rng.choice(len(statuses), size=n, p=(0.6, 0.15, 0.15, 0.05, 0.05))
+    anycasts: List[AnycastRecord] = []
+    bands: List[str] = []
+    for i in range(n):
+        status = statuses[int(status_draw[i])]
+        record = AnycastRecord(
+            op_id=i,
+            initiator=ids[int(rng.integers(len(ids)))],
+            target=target,
+            policy="retry-greedy",
+            selector="hs+vs",
+            started_at=float(2.0 * i),
+            status=status,
+        )
+        record.data_messages = int(rng.integers(1, 8))
+        record.retries_used = int(rng.integers(0, 4))
+        if status == AnycastStatus.DELIVERED:
+            record.delivered_at = record.started_at + float(rng.uniform(0.02, 0.8))
+            record.hops = int(rng.integers(1, 7))
+        anycasts.append(record)
+        bands.append(BANDS[int(rng.integers(3))])
+    multicasts: List[MulticastRecord] = []
+    mcast_bands: List[str] = []
+    for i in range(n // 5):
+        eligible = {ids[j] for j in rng.choice(len(ids), size=24, replace=False)}
+        record = MulticastRecord(
+            op_id=n + i,
+            initiator=ids[int(rng.integers(len(ids)))],
+            target=target,
+            mode="flood",
+            selector="hs+vs",
+            started_at=float(5.0 * i),
+            anycast=anycasts[int(rng.integers(n))],
+            eligible=eligible,
+        )
+        for node in list(eligible)[: int(rng.integers(8, 25))]:
+            record.deliveries[node] = record.started_at + float(rng.uniform(0.01, 2.0))
+        for j in range(int(rng.integers(0, 5))):
+            record.spam.append(
+                (ids[j], record.started_at + float(rng.uniform(0.01, 2.0)))
+            )
+        record.data_messages = int(rng.integers(20, 400))
+        multicasts.append(record)
+        mcast_bands.append(BANDS[int(rng.integers(3))])
+    return anycasts, bands, multicasts, mcast_bands
+
+
+# ----------------------------------------------------------------------
+# The preserved seed record-list aggregation path
+# ----------------------------------------------------------------------
+def seed_aggregate(
+    anycasts: Sequence[AnycastRecord],
+    bands: Sequence[str],
+    multicasts: Sequence[MulticastRecord],
+) -> Dict[str, object]:
+    """Exactly the per-record Python math the figure drivers used."""
+    # _anycast_common.status_fractions (seed shape)
+    counts = Counter(record.status for record in anycasts)
+    fractions = {
+        status: counts.get(status, 0) / len(anycasts)
+        for status in AnycastStatus.TERMINAL
+    }
+    # _anycast_common.mean_delivered_latency_ms (seed shape)
+    latencies = [r.latency for r in anycasts if r.delivered and r.latency is not None]
+    mean_latency_ms = float(1000.0 * np.mean(latencies)) if latencies else float("nan")
+    # fig07's cumulative hop fractions (seed shape)
+    delivered = [r for r in anycasts if r.delivered]
+    hops = Counter(r.hops for r in delivered)
+    hop_cdf = {
+        limit: sum(c for h, c in hops.items() if h <= limit) / len(delivered)
+        for limit in HOP_LIMITS
+    }
+    # per-band grouping (the ad-hoc dict accumulation drivers hand-rolled)
+    by_band: Dict[str, Dict[str, List]] = {}
+    for record, band in zip(anycasts, bands):
+        cell = by_band.setdefault(band, {"n": [], "delivered": [], "latency": []})
+        cell["n"].append(record)
+        if record.delivered:
+            cell["delivered"].append(record)
+            if record.latency is not None:
+                cell["latency"].append(record.latency)
+    band_stats = {
+        band: {
+            "launched": len(cell["n"]),
+            "success_rate": len(cell["delivered"]) / len(cell["n"]),
+            "latency_p50_ms": (
+                float(1000.0 * np.percentile(cell["latency"], 50))
+                if cell["latency"]
+                else float("nan")
+            ),
+        }
+        for band, cell in by_band.items()
+    }
+    # figs 11-13 per-record multicast metrics (seed shape)
+    worst = [
+        1000.0 * r.worst_latency() for r in multicasts if r.worst_latency() is not None
+    ]
+    spam_ratios = [r.spam_ratio() for r in multicasts if r.spam_ratio() == r.spam_ratio()]
+    reliabilities = [
+        r.reliability() for r in multicasts if r.reliability() == r.reliability()
+    ]
+    return {
+        "status_fractions": fractions,
+        "mean_latency_ms": mean_latency_ms,
+        "hop_cdf": hop_cdf,
+        "band_stats": band_stats,
+        "worst_latency_p90_ms": (
+            float(np.percentile(worst, 90)) if worst else float("nan")
+        ),
+        "mean_spam_ratio": float(np.mean(spam_ratios)) if spam_ratios else float("nan"),
+        "mean_reliability": (
+            float(np.mean(reliabilities)) if reliabilities else float("nan")
+        ),
+    }
+
+
+def log_aggregate(log: OperationLog) -> Dict[str, object]:
+    """The same metrics over the columnar log."""
+    anycasts = log.anycasts
+    worst = 1000.0 * log.worst_latencies()
+    spam = log.spam_ratio_values()
+    reliability = log.reliability_values()
+    return {
+        "status_fractions": log.status_fractions(anycasts),
+        "mean_latency_ms": log.mean_latency_ms(anycasts),
+        "hop_cdf": {
+            limit: log.hop_fraction_within(limit, anycasts) for limit in HOP_LIMITS
+        },
+        "band_stats": {
+            entry["band"]: {
+                "launched": entry["launched"],
+                "success_rate": entry["success_rate"],
+                "latency_p50_ms": entry["latency_p50_ms"],
+            }
+            for entry in log.aggregate(by=("band",), mask=anycasts)
+        },
+        "worst_latency_p90_ms": (
+            float(np.percentile(worst, 90)) if worst.size else float("nan")
+        ),
+        "mean_spam_ratio": float(np.nanmean(spam)) if spam.size else float("nan"),
+        "mean_reliability": (
+            float(np.nanmean(reliability)) if reliability.size else float("nan")
+        ),
+    }
+
+
+def assert_metric_parity(seed: Dict[str, object], log: Dict[str, object]) -> None:
+    def close(a, b):
+        if a != a and b != b:  # both NaN
+            return True
+        return np.isclose(a, b, rtol=1e-12, atol=1e-12)
+
+    for status in AnycastStatus.TERMINAL:
+        assert close(
+            seed["status_fractions"][status], log["status_fractions"][status]
+        ), f"status fraction parity violated for {status}"
+    assert close(seed["mean_latency_ms"], log["mean_latency_ms"])
+    for limit in HOP_LIMITS:
+        assert close(seed["hop_cdf"][limit], log["hop_cdf"][limit])
+    assert seed["band_stats"].keys() == log["band_stats"].keys()
+    for band, cell in seed["band_stats"].items():
+        other = log["band_stats"][band]
+        assert cell["launched"] == other["launched"]
+        assert close(cell["success_rate"], other["success_rate"])
+        assert close(cell["latency_p50_ms"], other["latency_p50_ms"])
+    for key in ("worst_latency_p90_ms", "mean_spam_ratio", "mean_reliability"):
+        assert close(seed[key], log[key]), f"{key} parity violated"
+
+
+def assert_record_parity(
+    log: OperationLog,
+    anycasts: Sequence[AnycastRecord],
+    multicasts: Sequence[MulticastRecord],
+) -> None:
+    """Column values must match the source dataclasses record for record."""
+    n = len(anycasts)
+    assert len(log) == n + len(multicasts)
+    np.testing.assert_array_equal(
+        log.op_id[:n], np.array([r.op_id for r in anycasts])
+    )
+    from repro.ops.log import STATUSES
+
+    status_code = {name: i for i, name in enumerate(STATUSES)}
+    np.testing.assert_array_equal(
+        log.status[:n], np.array([status_code[r.status] for r in anycasts])
+    )
+    np.testing.assert_array_equal(
+        log.hops[:n],
+        np.array([-1 if r.hops is None else r.hops for r in anycasts]),
+    )
+    np.testing.assert_array_equal(
+        log.transmissions[:n], np.array([r.data_messages for r in anycasts])
+    )
+    want_latency = np.array(
+        [np.nan if r.latency is None else r.latency for r in anycasts]
+    )
+    np.testing.assert_allclose(log.latency[:n], want_latency, equal_nan=True)
+    np.testing.assert_array_equal(
+        log.eligible[n:], np.array([len(r.eligible) for r in multicasts])
+    )
+    np.testing.assert_array_equal(
+        log.delivered_count[n:], np.array([len(r.deliveries) for r in multicasts])
+    )
+    np.testing.assert_array_equal(
+        log.spam_count[n:], np.array([len(r.spam) for r in multicasts])
+    )
+
+
+def sweep_aggregation(n: int, seed: int) -> Dict[str, object]:
+    anycasts, bands, multicasts, mcast_bands = synthesize(n, seed)
+
+    def build_log() -> OperationLog:
+        builder = OperationLog.builder()
+        for record, band in zip(anycasts, bands):
+            builder.append_anycast(record, band=band, item=0)
+        for record, band in zip(multicasts, mcast_bands):
+            builder.append_multicast(record, band=band, item=1)
+        return builder.finalize()
+
+    log, build_s = timed(build_log)
+    assert_record_parity(log, anycasts, multicasts)
+    seed_metrics, seed_s = timed(seed_aggregate, anycasts, bands, multicasts)
+    log_metrics, log_s = timed(log_aggregate, log)
+    assert_metric_parity(seed_metrics, log_metrics)
+    speedup = seed_s / log_s if log_s > 0 else float("inf")
+    return {
+        "operations": n + len(multicasts),
+        "anycasts": n,
+        "multicasts": len(multicasts),
+        "build_seconds": build_s,
+        "seed_seconds": seed_s,
+        "log_seconds": log_s,
+        "speedup": speedup,
+    }
+
+
+# ----------------------------------------------------------------------
+# Plan-execution sweep (runner overhead vs the seed scalar driver)
+# ----------------------------------------------------------------------
+EXEC_COUNT = 40
+EXEC_TARGET = (0.6, 0.95)
+
+
+def build_sim(seed: int) -> AvmemSimulation:
+    sim = AvmemSimulation(SimulationSettings(hosts=160, epochs=60, seed=seed))
+    sim.setup(warmup=18600.0, settle=1800.0)
+    return sim
+
+
+def seed_driver(simulation: AvmemSimulation) -> List[AnycastRecord]:
+    """The seed ``run_anycast_batch`` loop, preserved verbatim."""
+    records: List[AnycastRecord] = []
+    spec = simulation.as_target(EXEC_TARGET)
+    for __ in range(EXEC_COUNT):
+        initiator = simulation.pick_initiator(InitiatorBand.MID)
+        if initiator is not None:
+            records.append(
+                simulation.engine.anycast(
+                    initiator, spec, policy="greedy", selector="hs+vs"
+                )
+            )
+        simulation.sim.run_until(simulation.sim.now + 2.0)
+    simulation.sim.run_until(simulation.sim.now + 30.0)
+    for record in records:
+        record.finalize()
+    return records
+
+
+def sweep_execution(seed: int) -> Dict[str, object]:
+    seed_sim, seed_build_s = timed(build_sim, seed)
+    plan_sim, plan_build_s = timed(build_sim, seed)
+    seed_records, seed_s = timed(seed_driver, seed_sim)
+    item = OperationItem(
+        kind="anycast",
+        target=TargetSpec.range(*EXEC_TARGET),
+        count=EXEC_COUNT,
+        band=InitiatorBand.MID,
+        policy="greedy",
+        timing=OperationTiming(mode="interval", spacing=2.0),
+    )
+    plan = OperationPlan.single(item, settle=30.0, name="bench")
+    execution, plan_s = timed(plan_sim.ops.execute, plan)
+    launched = execution.launched
+    assert len(launched) == len(seed_records), "launch-count parity violated"
+    for old, new in zip(seed_records, launched):
+        assert (old.op_id, old.status, old.hops, old.latency, old.data_messages) == (
+            new.op_id, new.status, new.hops, new.latency, new.data_messages,
+        ), "plan-vs-seed record parity violated"
+    return {
+        "operations": EXEC_COUNT,
+        "hosts": 160,
+        "build_seconds": (seed_build_s + plan_build_s) / 2.0,
+        "seed_seconds": seed_s,
+        "plan_seconds": plan_s,
+        "overhead_ratio": plan_s / seed_s if seed_s > 0 else float("nan"),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", default=None, help="override the BENCH json path")
+    args = parser.parse_args(argv)
+
+    print("log aggregation: seed record-list path vs columnar OperationLog")
+    print(f"{'ops':>8} {'build_s':>9} {'seed_s':>9} {'log_s':>9} {'speedup':>8}")
+    aggregation = []
+    for n in args.sizes:
+        row = sweep_aggregation(n, args.seed)
+        aggregation.append(row)
+        print(
+            f"{row['operations']:>8} {row['build_seconds']:>9.4f} "
+            f"{row['seed_seconds']:>9.4f} {row['log_seconds']:>9.4f} "
+            f"{row['speedup']:>8.1f}x"
+        )
+    for row in aggregation:
+        if row["anycasts"] >= BAR_AT:
+            assert row["speedup"] >= SPEEDUP_BAR, (
+                f"aggregation speedup bar missed at {row['anycasts']} ops: "
+                f"{row['speedup']:.1f}x < {SPEEDUP_BAR}x"
+            )
+
+    print()
+    print("plan execution: sim.ops.run(plan) vs the seed scalar driver loop")
+    execution = sweep_execution(args.seed)
+    print(
+        f"  {execution['operations']} anycasts over {execution['hosts']} hosts: "
+        f"seed {execution['seed_seconds']:.3f}s, plan "
+        f"{execution['plan_seconds']:.3f}s "
+        f"(overhead x{execution['overhead_ratio']:.2f}, record parity ok)"
+    )
+
+    emit_bench_json(
+        "ops",
+        {
+            "speedup_bar": SPEEDUP_BAR,
+            "bar_at_operations": BAR_AT,
+            "aggregation": aggregation,
+            "execution": execution,
+        },
+        path=args.json,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,11 +4,13 @@ Run:  python examples/quickstart.py
 
 This wires the whole stack on a small synthetic Overnet-style trace
 (220 hosts), warms it up, and then exercises the public API: an overlay
-snapshot, a range-anycast, and a threshold-multicast.
+snapshot, then a mixed operation plan (a range-anycast plus a
+threshold-multicast) executed through ``sim.ops``.
 """
 
 from repro import AvmemSimulation, SimulationSettings
 from repro.experiments.snapshot import take_snapshot
+from repro.ops import OperationItem, OperationPlan, TargetSpec
 
 
 def main() -> None:
@@ -29,11 +31,27 @@ def main() -> None:
         f"HS={node.lists.horizontal_count} VS={node.lists.vertical_count}"
     )
 
-    # 3. Range-anycast: find *some* node with availability in [0.8, 0.95],
-    #    starting from a mid-availability initiator.
-    record = simulation.run_anycast(
-        (0.80, 0.95), initiator_band="mid", policy="retry-greedy"
+    # 3. Declare a mixed plan: a range-anycast (find *some* node with
+    #    availability in [0.8, 0.95] from a mid-availability initiator)
+    #    and a threshold-multicast (flood every node above 0.7).
+    plan = OperationPlan(
+        items=(
+            OperationItem(
+                kind="anycast", target=TargetSpec.range(0.80, 0.95),
+                band="mid", policy="retry-greedy",
+            ),
+            OperationItem(
+                kind="multicast", target=TargetSpec.threshold(0.7),
+                band="high", mode="flood",
+            ),
+        ),
+        name="quickstart",
     )
+    execution = simulation.ops.execute(plan)
+    record, multicast = execution.records
+    if record is None or multicast is None:
+        raise SystemExit("no online initiator in the requested band; try another seed")
+
     if record.delivered:
         print(
             f"anycast delivered to {record.delivery_node} in {record.hops} hop(s), "
@@ -42,14 +60,19 @@ def main() -> None:
     else:
         print(f"anycast failed: {record.status}")
 
-    # 4. Threshold-multicast: flood every node with availability > 0.7.
-    multicast = simulation.run_multicast(0.7, initiator_band="high", mode="flood")
     print(
         f"multicast reached {len(multicast.deliveries)} of "
         f"{len(multicast.eligible)} eligible nodes "
         f"(reliability {multicast.reliability():.2f}, "
         f"spam ratio {multicast.spam_ratio():.3f}, "
         f"worst latency {1000 * (multicast.worst_latency() or 0):.0f} ms)"
+    )
+
+    # 5. The columnar log view of the same two operations.
+    log = execution.log
+    print(
+        f"log: {len(log)} rows, success rate {log.success_rate():.2f}, "
+        f"{int(log.transmissions.sum())} transmissions"
     )
 
 

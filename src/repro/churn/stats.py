@@ -21,7 +21,9 @@ __all__ = [
     "availability_samples",
     "online_availability_samples",
     "online_population_series",
+    "online_population_series_scalar",
     "churn_events_per_epoch",
+    "churn_events_per_epoch_scalar",
 ]
 
 NodeKey = Hashable
@@ -71,7 +73,26 @@ def online_availability_samples(trace: ChurnTrace, time: float) -> np.ndarray:
 def online_population_series(
     trace: ChurnTrace, sample_seconds: float
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """(times, online-counts) sampled every ``sample_seconds``."""
+    """(times, online-counts) sampled every ``sample_seconds``.
+
+    Answers through the columnar timeline's
+    :meth:`~repro.churn.timeline.ChurnTimeline.online_count_series` —
+    two ``searchsorted`` passes for the whole series instead of one
+    population stab per sample.  :func:`online_population_series_scalar`
+    is the per-sample fallback it is parity-tested against.
+    """
+    if sample_seconds <= 0:
+        raise ValueError(f"sample_seconds must be positive, got {sample_seconds}")
+    times = np.arange(0.0, trace.horizon + 1e-9, sample_seconds)
+    counts = trace.timeline.online_count_series(times).astype(float)
+    return times, counts
+
+
+def online_population_series_scalar(
+    trace: ChurnTrace, sample_seconds: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-sample fallback for :func:`online_population_series` (kept for
+    parity testing and for presence oracles without a timeline)."""
     if sample_seconds <= 0:
         raise ValueError(f"sample_seconds must be positive, got {sample_seconds}")
     times = np.arange(0.0, trace.horizon + 1e-9, sample_seconds)
@@ -80,12 +101,38 @@ def online_population_series(
 
 
 def churn_events_per_epoch(trace: ChurnTrace, epoch_seconds: float) -> np.ndarray:
-    """Number of presence flips (joins + leaves) in each epoch."""
+    """Number of presence flips (joins + leaves) in each epoch.
+
+    Presence is sampled at epoch midpoints through the timeline's
+    vectorized :meth:`~repro.churn.timeline.ChurnTimeline.online_mask_matrix`
+    batch path; :func:`churn_events_per_epoch_scalar` is the per-node
+    fallback it is parity-tested against.
+    """
     matrix, _ = trace.to_matrix(epoch_seconds)
     if matrix.shape[0] < 2:
         return np.zeros(0, dtype=int)
     flips = matrix[1:] != matrix[:-1]
     return flips.sum(axis=1)
+
+
+def churn_events_per_epoch_scalar(
+    trace: ChurnTrace, epoch_seconds: float
+) -> np.ndarray:
+    """Per-node scalar fallback for :func:`churn_events_per_epoch`."""
+    if epoch_seconds <= 0:
+        raise ValueError(f"epoch_seconds must be positive, got {epoch_seconds}")
+    epochs = int(round(trace.horizon / epoch_seconds))
+    if epochs < 2:
+        return np.zeros(0, dtype=int)
+    midpoints = (np.arange(epochs) + 0.5) * epoch_seconds
+    flips = np.zeros(epochs - 1, dtype=np.int64)
+    for node in trace.nodes:
+        schedule = trace.schedule(node)
+        presence = np.array(
+            [schedule.is_online(t) for t in midpoints], dtype=bool
+        )
+        flips += presence[1:] != presence[:-1]
+    return flips
 
 
 def summarize_trace(trace: ChurnTrace, population_samples: int = 64) -> TraceSummary:

@@ -99,6 +99,8 @@ class ChurnTimeline:
         "_grid_cells",
         "_inv_cell",
         "_grid_rank",
+        "_starts_sorted",
+        "_ends_sorted",
     )
 
     def __init__(
@@ -174,6 +176,10 @@ class ChurnTimeline:
         np.cumsum(per_cell, axis=1, out=rank[:, 1:])
         self._grid_rank = rank.ravel()
         self._starts_padded = np.concatenate((self.starts, [np.inf]))
+        # Globally time-sorted session edges, built lazily on the first
+        # whole-population series query (online_count_series).
+        self._starts_sorted: Optional[np.ndarray] = None
+        self._ends_sorted: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -332,12 +338,46 @@ class ChurnTimeline:
     def online_count(self, time: float) -> int:
         return int(self.online_mask(time).sum())
 
-    def online_mask_matrix(self, times: Sequence[float]) -> np.ndarray:
-        """``(len(times), n_nodes)`` presence matrix."""
+    def online_count_series(self, times: Sequence[float]) -> np.ndarray:
+        """Online population at each of ``times``, in one batch.
+
+        A node is online at ``t`` iff some session has ``start <= t <
+        end``; per-node sessions are disjoint, so the population count at
+        ``t`` is simply (# session starts ``<= t``) − (# session ends
+        ``<= t``) — two ``searchsorted`` passes over globally time-sorted
+        session edges, with no ``len(times) × n_nodes`` matrix in sight.
+        """
         times = np.asarray(times, dtype=float)
-        out = np.zeros((times.size, self.n_nodes), dtype=bool)
-        for row, t in enumerate(times.tolist()):
-            out[row] = self.online_mask(t)
+        if self._starts_sorted is None:
+            self._starts_sorted = np.sort(self.starts)
+            self._ends_sorted = np.sort(self.ends)
+        begun = np.searchsorted(self._starts_sorted, times, side="right")
+        ended = np.searchsorted(self._ends_sorted, times, side="right")
+        return (begun - ended).astype(np.int64)
+
+    def online_mask_matrix(self, times: Sequence[float]) -> np.ndarray:
+        """``(len(times), n_nodes)`` presence matrix, one vectorized pass.
+
+        Each session covers a contiguous run of (sorted) query times; the
+        runs are accumulated as +1/−1 boundary marks per node and
+        prefix-summed down the time axis — O(sessions + times × nodes)
+        with no per-time stabbing loop.
+        """
+        times = np.asarray(times, dtype=float)
+        n_times = times.size
+        out = np.zeros((n_times, self.n_nodes), dtype=bool)
+        if n_times == 0 or self.starts.size == 0:
+            return out
+        order = np.argsort(times, kind="stable")
+        sorted_times = times[order]
+        first = np.searchsorted(sorted_times, self.starts, side="left")
+        last = np.searchsorted(sorted_times, self.ends, side="left")
+        covers = last > first  # sessions covering at least one query time
+        if covers.any():
+            delta = np.zeros((n_times + 1, self.n_nodes), dtype=np.int32)
+            np.add.at(delta, (first[covers], self.node_index[covers]), 1)
+            np.add.at(delta, (last[covers], self.node_index[covers]), -1)
+            out[order] = delta.cumsum(axis=0)[:n_times] > 0
         return out
 
     # ------------------------------------------------------------------

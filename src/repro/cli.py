@@ -7,6 +7,9 @@
     avmem scenario list
     avmem scenario run flash-crowd --scale small --json report.json
     avmem scenario smoke --scale small
+    avmem ops run --scale small --anycasts 10 --multicasts 3 \
+        --target 0.6,0.9 --timing poisson --rate 0.05
+    avmem ops run --scale small --plan plan.json --json log.json
 
 ``python -m repro`` is an alias for the ``avmem`` entry point.
 """
@@ -76,6 +79,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="compile+run every registered scenario (CI gate: any failure is fatal)",
     )
     _add_common(scen_smoke)
+
+    ops = sub.add_parser(
+        "ops", help="execute a declarative operation plan and report its log"
+    )
+    ops_sub = ops.add_subparsers(dest="ops_command", required=True)
+    ops_run = ops_sub.add_parser(
+        "run", help="run an OperationPlan from flags or a JSON file"
+    )
+    _add_common(ops_run)
+    ops_run.add_argument(
+        "--plan", metavar="PATH", default=None,
+        help="load the plan from a JSON file (overrides the flag-built plan)",
+    )
+    ops_run.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="run over a registered churn scenario instead of the default trace",
+    )
+    ops_run.add_argument("--anycasts", type=int, default=6)
+    ops_run.add_argument("--multicasts", type=int, default=2)
+    ops_run.add_argument(
+        "--target", default="0.6,0.9",
+        help="'lo,hi' for a range target or one number for a threshold",
+    )
+    ops_run.add_argument("--band", default="mid", help="anycast initiator band")
+    ops_run.add_argument("--mcast-band", default="high", help="multicast initiator band")
+    ops_run.add_argument("--policy", default="greedy", help="anycast forwarding policy")
+    ops_run.add_argument("--selector", default="hs+vs", choices=["hs", "vs", "hs+vs"])
+    ops_run.add_argument("--mode", default="flood", choices=["flood", "gossip"])
+    ops_run.add_argument("--retry", type=int, default=None)
+    ops_run.add_argument(
+        "--timing", default="interval", choices=["batch", "interval", "poisson"]
+    )
+    ops_run.add_argument(
+        "--rate", type=float, default=0.05,
+        help="poisson arrivals per second (per operation stream)",
+    )
+    ops_run.add_argument("--settle", type=float, default=30.0)
+    ops_run.add_argument(
+        "--group-by", default="kind",
+        help="comma-separated log columns for the grouped report "
+        "(e.g. 'kind,band'); empty disables it",
+    )
+    ops_run.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the columnar operation log as JSON",
+    )
+    ops_run.add_argument(
+        "--csv", metavar="PATH", default=None,
+        help="write the columnar operation log as CSV",
+    )
+    ops_run.add_argument(
+        "--plan-out", metavar="PATH", default=None,
+        help="also write the executed plan as JSON (a reusable --plan file)",
+    )
     return parser
 
 
@@ -198,6 +255,122 @@ def _print_report(report) -> None:
             print(f"{key}: {value}")
 
 
+def _parse_target(text: str):
+    from repro.ops.spec import TargetSpec
+
+    parts = text.split(",")
+    try:
+        if len(parts) == 1:
+            return TargetSpec.threshold(float(parts[0]))
+        if len(parts) == 2:
+            return TargetSpec.range(float(parts[0]), float(parts[1]))
+    except ValueError as exc:
+        # covers empty components too ("0.9," must not silently become
+        # a threshold target)
+        raise SystemExit(f"invalid --target {text!r}: {exc}") from None
+    raise SystemExit(f"--target must be 'lo,hi' or one number, got {text!r}")
+
+
+def _ops_plan_from_args(args):
+    from repro.ops.plan import (
+        OperationItem,
+        OperationPlan,
+        OperationTiming,
+        sequential_multicast_phase,
+    )
+
+    target = _parse_target(args.target)
+
+    def timing(phase: float) -> OperationTiming:
+        if args.timing == "poisson":
+            return OperationTiming(mode="poisson", rate=args.rate)
+        if args.timing == "batch":
+            return OperationTiming(mode="batch")
+        return OperationTiming(mode="interval", phase=phase)
+
+    items = []
+    if args.anycasts:
+        items.append(OperationItem(
+            kind="anycast", target=target, count=args.anycasts, band=args.band,
+            policy=args.policy, selector=args.selector, retry=args.retry,
+            timing=timing(0.0), label="anycasts",
+        ))
+    if args.multicasts:
+        phase = (
+            sequential_multicast_phase(args.anycasts, args.settle)
+            if args.timing == "interval"
+            else 0.0
+        )
+        items.append(OperationItem(
+            kind="multicast", target=target, count=args.multicasts,
+            band=args.mcast_band, mode=args.mode, selector=args.selector,
+            timing=timing(phase), label="multicasts",
+        ))
+    if not items:
+        raise SystemExit("nothing to run: both --anycasts and --multicasts are 0")
+    return OperationPlan(items=tuple(items), settle=args.settle, name="cli")
+
+
+def _cmd_ops(args) -> int:
+    from repro.ops.plan import OperationPlan
+
+    try:
+        if args.plan:
+            plan = OperationPlan.from_json(args.plan)
+        else:
+            plan = _ops_plan_from_args(args)
+    except (ValueError, KeyError, OSError) as exc:
+        source = f"plan file {args.plan!r}" if args.plan else "plan flags"
+        raise SystemExit(f"invalid {source}: {exc}") from None
+    simulation = build_simulation(
+        scale=args.scale, seed=args.seed, scenario=args.scenario
+    )
+    log = simulation.ops.run(plan)
+    print(
+        f"plan: {plan.name}  items: {len(plan.items)}  "
+        f"operations: {plan.total_operations}  settle: {plan.settle:g}s"
+    )
+    summary = log.summary()
+    fractions = summary.pop("status_fractions")
+    for key, value in summary.items():
+        if isinstance(value, float):
+            print(f"{key}: {'n/a' if value != value else f'{value:.4g}'}")
+        else:
+            print(f"{key}: {value}")
+    for status, fraction in fractions.items():
+        if fraction:
+            print(f"status[{status}]: {fraction:.4g}")
+    group_by = tuple(f for f in args.group_by.split(",") if f)
+    if group_by:
+        try:
+            grouped = log.aggregate(by=group_by)
+        except ValueError as exc:
+            raise SystemExit(f"invalid --group-by: {exc}") from None
+        print(f"grouped by {', '.join(group_by)}:")
+
+        def fmt(value: float, suffix: str = "") -> str:
+            return "n/a" if value != value else f"{value:.3f}{suffix}"
+
+        for entry in grouped:
+            key = " ".join(f"{field}={entry[field]}" for field in group_by)
+            print(
+                f"  {key}: launched={entry['launched']} "
+                f"success={fmt(entry['success_rate'])} "
+                f"p50={fmt(entry['latency_p50_ms'], 'ms')} "
+                f"tx={fmt(entry['mean_transmissions'])}"
+            )
+    if args.plan_out:
+        plan.to_json(args.plan_out)
+        print(f"wrote {args.plan_out}")
+    if args.json:
+        log.to_json(args.json)
+        print(f"wrote {args.json}")
+    if args.csv:
+        log.to_csv(args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
 def _cmd_snapshot(args) -> int:
     simulation = build_simulation(scale=args.scale, seed=args.seed)
     snapshot = take_snapshot(simulation)
@@ -226,6 +399,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "snapshot": _cmd_snapshot,
         "scenario": _cmd_scenario,
+        "ops": _cmd_ops,
     }
     return handlers[args.command](args)
 

@@ -5,20 +5,34 @@ ratio, reliability) of the *same five scenarios*:
 
 * flooding: HIGH → [0.85, 0.95], HIGH → av > 0.90, LOW → av > 0.20
 * gossip (fanout 5, Ng 2, 1 s period): HIGH → av > 0.90, LOW → av > 0.20
+
+Each scenario cell compiles to one phase-staggered
+:class:`~repro.ops.plan.OperationPlan` (``runs`` items of
+``messages_per_run`` multicasts, 5 s apart with a 30 s settle gap
+between runs — the historical batch launch schedule) and is executed
+through ``sim.ops.run``; metric math happens on the columnar
+:class:`~repro.ops.log.OperationLog`.  As in ``_anycast_common``,
+records finalize once at plan end, so a stage-1 straggler that delivers
+during a later run counts DELIVERED rather than frozen LOST.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple, Union
+from typing import Tuple, Union
 
 from repro.experiments.harness import ExperimentScale
-from repro.ops.results import MulticastRecord
+from repro.ops.log import OperationLog
+from repro.ops.plan import OperationItem, OperationPlan, OperationTiming
 from repro.ops.spec import InitiatorBand, TargetSpec
 from repro.simulation import AvmemSimulation
 
-__all__ = ["MulticastScenario", "PAPER_SCENARIOS", "run_scenario"]
+__all__ = ["MulticastScenario", "PAPER_SCENARIOS", "scenario_plan", "run_scenario"]
 
 TargetLike = Union[Tuple[float, float], float]
+
+#: the historical batch-driver schedule constants
+MULTICAST_SPACING = 5.0
+RUN_SETTLE = 30.0
 
 
 class MulticastScenario:
@@ -45,20 +59,31 @@ PAPER_SCENARIOS: Tuple[MulticastScenario, ...] = (
 )
 
 
+def scenario_plan(tier: ExperimentScale, scenario: MulticastScenario) -> OperationPlan:
+    """``runs × messages`` multicasts of one scenario as a single plan."""
+    spec = scenario.spec()
+    run_span = tier.messages_per_run * MULTICAST_SPACING + RUN_SETTLE
+    items = tuple(
+        OperationItem(
+            kind="multicast",
+            target=spec,
+            count=tier.messages_per_run,
+            band=scenario.band,
+            mode=scenario.mode,
+            timing=OperationTiming(
+                mode="interval", spacing=MULTICAST_SPACING, phase=run * run_span
+            ),
+            label=f"run{run}",
+        )
+        for run in range(tier.runs)
+    )
+    return OperationPlan(items=items, settle=RUN_SETTLE, name=scenario.label)
+
+
 def run_scenario(
     simulation: AvmemSimulation,
     tier: ExperimentScale,
     scenario: MulticastScenario,
-) -> List[MulticastRecord]:
-    """``runs × messages`` multicasts of one scenario."""
-    records: List[MulticastRecord] = []
-    for __ in range(tier.runs):
-        records.extend(
-            simulation.run_multicast_batch(
-                tier.messages_per_run,
-                scenario.spec(),
-                scenario.band,
-                mode=scenario.mode,
-            )
-        )
-    return records
+) -> OperationLog:
+    """Execute one scenario's plan; returns its columnar log."""
+    return simulation.ops.run(scenario_plan(tier, scenario))

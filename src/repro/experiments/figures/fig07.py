@@ -8,8 +8,6 @@ within 1 hop (HS-only must crawl across availability space).
 
 from __future__ import annotations
 
-from collections import Counter
-
 from repro.experiments.figures._anycast_common import PAPER_VARIANTS, run_variant
 from repro.experiments.harness import build_simulation, get_scale
 from repro.experiments.report import FigureResult
@@ -30,18 +28,16 @@ def run(scale: str = "full", seed: int = 0) -> FigureResult:
         headers=["variant", "delivered", "of", "hops=1", "hops<=2", "hops<=6"],
     )
     for variant in PAPER_VARIANTS:
-        records = run_variant(simulation, tier, variant, InitiatorBand.MID, TARGET)
-        delivered = [r for r in records if r.delivered]
-        hops = Counter(r.hops for r in delivered)
-        n = len(delivered)
-        def cum(limit: int) -> float:
-            if n == 0:
-                return float("nan")
-            return sum(count for h, count in hops.items() if h <= limit) / n
+        log = run_variant(simulation, tier, variant, InitiatorBand.MID, TARGET)
         result.add_row(
-            variant.label, len(delivered), len(records), cum(1), cum(2), cum(6)
+            variant.label,
+            int(log.delivered.sum()),
+            int(log.launched.sum()),
+            log.hop_fraction_within(1),
+            log.hop_fraction_within(2),
+            log.hop_fraction_within(6),
         )
-        result.series[variant.label] = [float(r.hops) for r in delivered]
+        result.series[variant.label] = log.hops_delivered().astype(float).tolist()
     result.add_note(
         "paper: all variants 100% success; all but HS-only within 1 hop w.h.p."
     )

@@ -29,14 +29,11 @@ def run(scale: str = "full", seed: int = 0) -> FigureResult:
     )
     for target in TARGETS:
         for variant in PAPER_VARIANTS:
-            records = run_variant(simulation, tier, variant, InitiatorBand.HIGH, target)
-            fraction = (
-                sum(r.delivered for r in records) / len(records) if records else float("nan")
+            log = run_variant(simulation, tier, variant, InitiatorBand.HIGH, target)
+            result.add_row(str(target), variant.label, log.success_rate())
+            result.series[f"{target}:{variant.label}"] = (
+                log.delivered[log.launched].astype(float).tolist()
             )
-            result.add_row(str(target), variant.label, fraction)
-            result.series[f"{target}:{variant.label}"] = [
-                1.0 if r.delivered else 0.0 for r in records
-            ]
     result.add_note(
         "paper: success falls as the target range drops; HS+VS best overall"
     )

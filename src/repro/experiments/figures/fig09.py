@@ -78,10 +78,10 @@ def run(
             scale=scale, seed=seed, predicate_kind=predicate_kind, **overrides
         )
         for retry in RETRIES:
-            records = run_variant(
+            log = run_variant(
                 simulation, tier, VARIANT, InitiatorBand.HIGH, TARGET, retry=retry
             )
-            fractions = status_fractions(records)
+            fractions = status_fractions(log)
             other = sum(
                 fractions.get(status, 0.0)
                 for status in AnycastStatus.TERMINAL
@@ -99,13 +99,11 @@ def run(
                 fractions.get(AnycastStatus.TTL_EXPIRED, 0.0),
                 fractions.get(AnycastStatus.RETRY_EXPIRED, 0.0),
                 other,
-                mean_delivered_latency_ms(records),
+                mean_delivered_latency_ms(log),
             )
-            result.series[f"{config_label}:retry={retry}:latency_ms"] = [
-                1000.0 * r.latency
-                for r in records
-                if r.delivered and r.latency is not None
-            ]
+            result.series[f"{config_label}:retry={retry}:latency_ms"] = (
+                (1000.0 * log.latencies()).tolist()
+            )
     result.add_note(
         "paper (AVMEM overlay): retry=8 plateau, ~60% delivered, ~739 ms avg "
         "latency — compare the 'stale (paper-like)' rows"

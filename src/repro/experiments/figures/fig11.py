@@ -25,16 +25,12 @@ def run(scale: str = "full", seed: int = 0) -> FigureResult:
         headers=["scenario", "multicasts", "p50_ms", "p90_ms", "max_ms"],
     )
     for scenario in PAPER_SCENARIOS:
-        records = run_scenario(simulation, tier, scenario)
-        latencies = [
-            1000.0 * record.worst_latency()
-            for record in records
-            if record.worst_latency() is not None
-        ]
+        log = run_scenario(simulation, tier, scenario)
+        latencies = (1000.0 * log.worst_latencies()).tolist()
         result.series[scenario.label] = latencies
         result.add_row(
             scenario.label,
-            len(records),
+            int(log.launched.sum()),
             quantile(latencies, 0.5),
             quantile(latencies, 0.9),
             max(latencies) if latencies else float("nan"),

@@ -8,6 +8,8 @@ most cases; small target ranges skew the ratio.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.experiments.figures._multicast_common import PAPER_SCENARIOS, run_scenario
 from repro.experiments.harness import build_simulation, get_scale
 from repro.experiments.report import FigureResult
@@ -26,14 +28,13 @@ def run(scale: str = "full", seed: int = 0) -> FigureResult:
         headers=["scenario", "multicasts", "p50", "p90", "max"],
     )
     for scenario in PAPER_SCENARIOS:
-        records = run_scenario(simulation, tier, scenario)
-        ratios = [
-            record.spam_ratio() for record in records if record.spam_ratio() == record.spam_ratio()
-        ]
+        log = run_scenario(simulation, tier, scenario)
+        values = log.spam_ratio_values()
+        ratios = values[np.isfinite(values)].tolist()
         result.series[scenario.label] = ratios
         result.add_row(
             scenario.label,
-            len(records),
+            int(log.launched.sum()),
             quantile(ratios, 0.5),
             quantile(ratios, 0.9),
             max(ratios) if ratios else float("nan"),

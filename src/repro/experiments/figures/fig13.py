@@ -28,16 +28,13 @@ def run(scale: str = "full", seed: int = 0) -> FigureResult:
     import numpy as np
 
     for scenario in PAPER_SCENARIOS:
-        records = run_scenario(simulation, tier, scenario)
-        reliabilities = [
-            record.reliability()
-            for record in records
-            if record.reliability() == record.reliability()
-        ]
+        log = run_scenario(simulation, tier, scenario)
+        values = log.reliability_values()
+        reliabilities = values[np.isfinite(values)].tolist()
         result.series[scenario.label] = reliabilities
         result.add_row(
             scenario.label,
-            len(records),
+            int(log.launched.sum()),
             quantile(reliabilities, 0.1),
             quantile(reliabilities, 0.5),
             float(np.mean(reliabilities)) if reliabilities else float("nan"),

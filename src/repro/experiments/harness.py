@@ -147,6 +147,9 @@ class ScenarioRunReport:
     build_seconds: float = 0.0
     workload_seconds: float = 0.0
     notes: List[str] = field(default_factory=list)
+    #: the columnar per-operation outcomes (not part of :meth:`as_dict`;
+    #: export it separately via ``log.to_json()`` / ``log.to_csv()``)
+    log: Optional[object] = field(default=None, compare=False, repr=False)
 
     @property
     def anycast_success_rate(self) -> float:
@@ -188,23 +191,21 @@ class ScenarioRunReport:
         }.items()}
 
 
-def _mean(values: List[float]) -> float:
-    return sum(values) / len(values) if values else float("nan")
-
-
 def run_scenario(
     name: str,
     scale: str = "small",
     seed: int = 0,
     **sim_kwargs,
 ) -> ScenarioRunReport:
-    """Build a simulation for scenario ``name``, run the spec's operation
-    workload, and summarize the outcome.
+    """Build a simulation for scenario ``name``, execute the spec's
+    workload as an :class:`~repro.ops.plan.OperationPlan`, and summarize
+    the resulting :class:`~repro.ops.log.OperationLog`.
 
     This is the single entry point behind ``repro scenario run`` and the
     CI smoke job — a scenario that compiles, warms up, and pushes its
     workload through here is runnable end to end.
     """
+    from repro.ops.log import OperationLog
     from repro.scenarios.registry import get_scenario
 
     spec = get_scenario(name)
@@ -215,35 +216,30 @@ def run_scenario(
     notes: List[str] = []
     online = len(simulation.online_ids())
     started = time.perf_counter()
-    anycast_records = []
-    if workload.anycasts:
-        anycast_records = simulation.run_anycast_batch(
-            workload.anycasts,
-            workload.target,
-            initiator_band=workload.anycast_band,
-            policy=workload.anycast_policy,
-            retry=workload.anycast_retry,
-        )
-        if len(anycast_records) < workload.anycasts:
-            notes.append(
-                f"only {len(anycast_records)}/{workload.anycasts} anycasts launched "
-                f"(no online initiator in band {workload.anycast_band!r} at times)"
-            )
-    multicast_records = []
-    if workload.multicasts:
-        multicast_records = simulation.run_multicast_batch(
-            workload.multicasts,
-            workload.target,
-            initiator_band=workload.multicast_band,
-            mode=workload.multicast_mode,
-        )
-        if len(multicast_records) < workload.multicasts:
-            notes.append(
-                f"only {len(multicast_records)}/{workload.multicasts} multicasts "
-                f"launched (no online initiator in band {workload.multicast_band!r})"
-            )
+    plan = workload.to_plan(name=f"{name}-workload")
+    if plan is not None:
+        log = simulation.ops.run(plan)
+    else:
+        log = OperationLog.builder().finalize()
     workload_seconds = time.perf_counter() - started
-    delivered = [r for r in anycast_records if r.delivered]
+    anycasts = log.anycasts & log.launched
+    multicasts = log.multicasts & log.launched
+    skipped_anycasts = int((log.anycasts & ~log.launched).sum())
+    skipped_multicasts = int((log.multicasts & ~log.launched).sum())
+    if skipped_anycasts:
+        notes.append(
+            f"only {int(anycasts.sum())}/{workload.anycasts} anycasts launched "
+            f"(no online initiator in band {workload.anycast_band!r} at times)"
+        )
+    if skipped_multicasts:
+        notes.append(
+            f"only {int(multicasts.sum())}/{workload.multicasts} multicasts "
+            f"launched (no online initiator in band {workload.multicast_band!r})"
+        )
+    hops = log.hops_delivered(anycasts)
+    latencies = log.latencies(anycasts)
+    reliability = log.reliability_values(multicasts)
+    spam = log.spam_ratio_values(multicasts)
     targets = simulation.trace.timeline.lifetime_availability_array()
     return ScenarioRunReport(
         scenario=name,
@@ -252,23 +248,20 @@ def run_scenario(
         hosts=simulation.settings.hosts,
         online_at_start=online,
         mean_lifetime_availability=float(targets.mean()),
-        anycasts=len(anycast_records),
-        anycasts_delivered=len(delivered),
-        anycast_mean_hops=_mean([float(r.hops) for r in delivered if r.hops is not None]),
-        anycast_mean_latency=_mean(
-            [float(r.latency) for r in delivered if r.latency is not None]
+        anycasts=int(anycasts.sum()),
+        anycasts_delivered=int((log.delivered & anycasts).sum()),
+        anycast_mean_hops=float(hops.mean()) if hops.size else float("nan"),
+        anycast_mean_latency=float(latencies.mean()) if latencies.size else float("nan"),
+        anycast_data_messages=int(log.transmissions[anycasts].sum()),
+        multicasts=int(multicasts.sum()),
+        multicast_mean_reliability=(
+            float(reliability.mean()) if reliability.size else float("nan")
         ),
-        anycast_data_messages=sum(r.data_messages for r in anycast_records),
-        multicasts=len(multicast_records),
-        multicast_mean_reliability=_mean(
-            [float(r.reliability()) for r in multicast_records]
-        ),
-        multicast_mean_spam_ratio=_mean(
-            [float(r.spam_ratio()) for r in multicast_records]
-        ),
+        multicast_mean_spam_ratio=float(spam.mean()) if spam.size else float("nan"),
         build_seconds=build_seconds,
         workload_seconds=workload_seconds,
         notes=notes,
+        log=log,
     )
 
 

@@ -9,8 +9,18 @@ from repro.ops.anycast import (
     make_policy,
 )
 from repro.ops.engine import OperationEngine
+from repro.ops.log import OperationLog, OperationLogBuilder
 from repro.ops.messages import AnycastAck, AnycastMessage, MulticastMessage
+from repro.ops.plan import (
+    OPERATION_KINDS,
+    TIMING_MODES,
+    LaunchSchedule,
+    OperationItem,
+    OperationPlan,
+    OperationTiming,
+)
 from repro.ops.results import AnycastRecord, AnycastStatus, MulticastRecord
+from repro.ops.runner import OperationRunner, PlanExecution
 from repro.ops.spec import PAPER_RANGES, PAPER_THRESHOLDS, InitiatorBand, TargetSpec
 
 __all__ = [
@@ -31,4 +41,14 @@ __all__ = [
     "AnycastStatus",
     "MulticastRecord",
     "OperationEngine",
+    "OperationItem",
+    "OperationPlan",
+    "OperationTiming",
+    "OperationLog",
+    "OperationLogBuilder",
+    "OperationRunner",
+    "PlanExecution",
+    "LaunchSchedule",
+    "TIMING_MODES",
+    "OPERATION_KINDS",
 ]

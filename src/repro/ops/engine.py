@@ -163,11 +163,14 @@ class OperationEngine:
         mode: str = "flood",
         selector: str = SliverSelector.BOTH,
         anycast_policy: str = "retry-greedy",
+        ttl: Optional[int] = None,
+        retry: Optional[int] = None,
     ) -> MulticastRecord:
         """Launch a two-stage multicast; returns its (live) record.
 
-        Stage 1 anycasts into the range (sharing the anycast machinery);
-        stage 2 floods or gossips within it.
+        Stage 1 anycasts into the range (sharing the anycast machinery,
+        including the ``ttl``/``retry`` budgets); stage 2 floods or
+        gossips within it.
         """
         if mode not in ("flood", "gossip"):
             raise ValueError(f"mode must be 'flood' or 'gossip', got {mode!r}")
@@ -177,6 +180,8 @@ class OperationEngine:
             target,
             policy=anycast_policy,
             selector=selector,
+            ttl=ttl,
+            retry=retry,
             _multicast_payload=True,
         )
         op_id = anycast_record.op_id

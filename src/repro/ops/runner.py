@@ -1,0 +1,158 @@
+"""Plan execution: ``sim.ops.run(plan)``.
+
+:class:`OperationRunner` is the single entry point through which every
+management-operation workload flows — the figure drivers, the scenario
+harness, the ``repro ops run`` CLI, and the legacy
+``AvmemSimulation.run_*`` shims all compile down to an
+:class:`~repro.ops.plan.OperationPlan` executed here.
+
+Execution walks the compiled launch schedule in time order: advance the
+simulator to each launch offset, resolve the initiator (explicit node,
+node index, or a fresh draw from the item's band), hand the operation to
+the :class:`~repro.ops.engine.OperationEngine`, then drain to the
+schedule horizon, run the settle window, finalize the records, and
+freeze everything into a columnar :class:`~repro.ops.log.OperationLog`.
+
+Deterministic plans consume randomness from exactly the same streams in
+exactly the same order as the historical scalar batch loops, so a seeded
+shim call and its explicit-plan equivalent produce identical records
+(property-tested in ``tests/test_ops_plan.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.core.ids import NodeId
+from repro.ops.log import OperationLog
+from repro.ops.plan import OperationItem, OperationPlan
+from repro.ops.results import AnycastRecord, MulticastRecord
+
+__all__ = ["OperationRunner", "PlanExecution"]
+
+Record = Union[AnycastRecord, MulticastRecord]
+
+
+@dataclass(frozen=True)
+class PlanExecution:
+    """What one :meth:`OperationRunner.run` call produced.
+
+    ``log`` is the columnar outcome table (one row per launch slot,
+    including skipped slots); ``records`` the live per-operation records
+    in launch order (``None`` where a slot was skipped) for callers that
+    still need record-level access (the deprecation shims, equivalence
+    tests).
+    """
+
+    plan: OperationPlan
+    log: OperationLog
+    records: Tuple[Optional[Record], ...]
+
+    @property
+    def launched(self) -> List[Record]:
+        return [record for record in self.records if record is not None]
+
+
+class OperationRunner:
+    """Executes :class:`~repro.ops.plan.OperationPlan`\\ s on a simulation."""
+
+    #: rng stream names (on the simulation's router)
+    TIMING_STREAM = "ops-plan-timing"
+
+    def __init__(self, simulation):
+        self._simulation = simulation
+        self._by_endpoint: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, plan: OperationPlan) -> OperationLog:
+        """Execute ``plan`` and return its :class:`OperationLog`."""
+        return self.execute(plan).log
+
+    def execute(self, plan: OperationPlan) -> PlanExecution:
+        """Execute ``plan``, keeping record-level results too."""
+        simulation = self._simulation
+        simulation._require_ready()
+        schedule = plan.compile(rng=simulation._router.get(self.TIMING_STREAM))
+        sim = simulation.sim
+        engine = simulation.engine
+        start = sim.now
+        outcomes: List[Tuple[int, float, Optional[Record]]] = []
+        for k in range(len(schedule)):
+            launch_at = start + float(schedule.times[k])
+            if launch_at > sim.now:
+                sim.run_until(launch_at)
+            item_index = int(schedule.item_index[k])
+            item = plan.items[item_index]
+            initiator = self._resolve_initiator(item)
+            if initiator is None:
+                outcomes.append((item_index, sim.now, None))
+                continue
+            if item.kind == "anycast":
+                record: Record = engine.anycast(
+                    initiator,
+                    item.target,
+                    policy=item.resolved_policy,
+                    selector=item.selector,
+                    ttl=item.ttl,
+                    retry=item.retry,
+                )
+            else:
+                record = engine.multicast(
+                    initiator,
+                    item.target,
+                    mode=item.mode,
+                    selector=item.selector,
+                    anycast_policy=item.resolved_policy,
+                    ttl=item.ttl,
+                    retry=item.retry,
+                )
+            outcomes.append((item_index, record.started_at, record))
+        drain_until = start + schedule.horizon
+        if drain_until > sim.now:
+            sim.run_until(drain_until)
+        if plan.settle > 0:
+            sim.run_until(sim.now + plan.settle)
+        builder = OperationLog.builder()
+        records: List[Optional[Record]] = []
+        for item_index, at, record in outcomes:
+            item = plan.items[item_index]
+            band = item.band if item.initiator is None else None
+            if record is None:
+                builder.append_skipped(item, item=item_index, at=at)
+            elif isinstance(record, MulticastRecord):
+                if record.anycast is not None:
+                    record.anycast.finalize()
+                builder.append_multicast(record, band=band, item=item_index)
+            else:
+                record.finalize()
+                builder.append_anycast(record, band=band, item=item_index)
+            records.append(record)
+        return PlanExecution(plan=plan, log=builder.finalize(), records=tuple(records))
+
+    # ------------------------------------------------------------------
+    # Initiator resolution
+    # ------------------------------------------------------------------
+    def _resolve_initiator(self, item: OperationItem) -> Optional[NodeId]:
+        simulation = self._simulation
+        initiator = item.initiator
+        if initiator is None:
+            return simulation.pick_initiator(item.band)
+        if isinstance(initiator, NodeId):
+            return initiator
+        if isinstance(initiator, bool):
+            raise TypeError("initiator must be a NodeId, index, or endpoint")
+        if isinstance(initiator, int):
+            return simulation.node_ids[initiator]
+        if isinstance(initiator, str):
+            if self._by_endpoint is None:
+                self._by_endpoint = {
+                    node.endpoint: node for node in simulation.node_ids
+                }
+            node = self._by_endpoint.get(initiator)
+            if node is None:
+                raise ValueError(f"unknown initiator endpoint {initiator!r}")
+            return node
+        raise TypeError(f"cannot resolve initiator {initiator!r}")

@@ -21,6 +21,7 @@ name                      what it stresses
 ``blackout``              correlated mass departure (rack failure)
 ``availability-ramp``     population availability drifting up over the trace
 ``stable-core``           high-availability, low-churn control population
+``mixed-poisson``         interleaved anycast+multicast Poisson op streams
 ========================  ====================================================
 """
 
@@ -164,4 +165,22 @@ register(ScenarioSpec(
     churn=ChurnModelSpec(model="weibull", shape=1.0, mean_session_epochs=12.0),
     population=PopulationSpec(distribution="uniform", low=0.7, high=0.95),
     workload=WorkloadSpec(anycasts=6, multicasts=2, target=(0.75, 0.95)),
+))
+
+register(ScenarioSpec(
+    name="mixed-poisson",
+    description=(
+        "Mixed management workload: anycast and multicast Poisson "
+        "arrival streams interleave by launch time over the baseline "
+        "Overnet-like churn (the timed-schedule stress case)."
+    ),
+    churn=ChurnModelSpec(
+        model="markov", mean_session_epochs=3.0,
+        diurnal_amplitude=0.3, diurnal_fraction=0.4,
+    ),
+    population=PopulationSpec(distribution="overnet"),
+    workload=WorkloadSpec(
+        anycasts=8, multicasts=3, target=(0.6, 0.9),
+        timing="poisson", rate=0.05,
+    ),
 ))

@@ -208,7 +208,21 @@ class PerturbationSpec:
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """The management operations a scenario run launches after warm-up."""
+    """The management operations a scenario run launches after warm-up.
+
+    A workload is declarative: :meth:`to_plan` compiles it to an
+    :class:`~repro.ops.plan.OperationPlan` executed through
+    ``sim.ops.run(plan)``.  ``timing`` selects the schedule shape:
+
+    * ``"interval"`` (default) — the historical sequential shape: the
+      anycast stream launches ``anycast_spacing`` seconds apart, then
+      (after a settle gap) the multicast stream ``multicast_spacing``
+      apart;
+    * ``"poisson"`` — both streams start together with exponential
+      inter-arrival gaps at ``rate`` arrivals per second, interleaving
+      anycasts and multicasts by launch time (a mixed/timed schedule);
+    * ``"batch"`` — everything launches at once.
+    """
 
     anycasts: int = 6
     multicasts: int = 2
@@ -218,14 +232,92 @@ class WorkloadSpec:
     anycast_policy: str = "greedy"
     anycast_retry: Optional[int] = None
     multicast_mode: str = "flood"
+    timing: str = "interval"
+    rate: float = 0.05
+    anycast_spacing: float = 2.0
+    multicast_spacing: float = 5.0
+    settle: float = 30.0
 
     def __post_init__(self):
+        from repro.ops.plan import TIMING_MODES
+
         if self.anycasts < 0 or self.multicasts < 0:
             raise ValueError("operation counts must be non-negative")
         lo, hi = self.target
         check_probability(lo, "target low")
         if not 0.0 <= hi <= 1.0 + 1e-12:
             raise ValueError(f"target high must be in [0, 1], got {hi}")
+        if self.timing not in TIMING_MODES:
+            raise ValueError(
+                f"timing must be one of {TIMING_MODES}, got {self.timing!r}"
+            )
+        check_positive(self.rate, "rate")
+        if self.anycast_spacing < 0 or self.multicast_spacing < 0:
+            raise ValueError("spacings must be non-negative")
+        if self.settle < 0:
+            raise ValueError(f"settle must be >= 0, got {self.settle}")
+
+    @property
+    def total_operations(self) -> int:
+        return self.anycasts + self.multicasts
+
+    def to_plan(self, name: str = "workload"):
+        """Compile to an :class:`~repro.ops.plan.OperationPlan`.
+
+        Returns ``None`` when the workload launches nothing.
+        """
+        from repro.ops.plan import (
+            OperationItem,
+            OperationPlan,
+            OperationTiming,
+            sequential_multicast_phase,
+        )
+        from repro.ops.spec import TargetSpec
+
+        target = TargetSpec.range(*self.target)
+
+        def timing_for(kind: str, phase: float) -> OperationTiming:
+            if self.timing == "poisson":
+                return OperationTiming(mode="poisson", rate=self.rate, phase=0.0)
+            if self.timing == "batch":
+                return OperationTiming(mode="batch", phase=0.0)
+            spacing = (
+                self.anycast_spacing if kind == "anycast" else self.multicast_spacing
+            )
+            return OperationTiming(mode="interval", spacing=spacing, phase=phase)
+
+        items = []
+        if self.anycasts:
+            items.append(OperationItem(
+                kind="anycast",
+                target=target,
+                count=self.anycasts,
+                band=self.anycast_band,
+                policy=self.anycast_policy,
+                retry=self.anycast_retry,
+                timing=timing_for("anycast", 0.0),
+                label="anycasts",
+            ))
+        if self.multicasts:
+            phase = (
+                sequential_multicast_phase(
+                    self.anycasts, self.settle, self.anycast_spacing
+                )
+                if self.timing == "interval"
+                else 0.0
+            )
+            items.append(OperationItem(
+                kind="multicast",
+                target=target,
+                count=self.multicasts,
+                band=self.multicast_band,
+                mode=self.multicast_mode,
+                timing=timing_for("multicast", phase),
+                label="multicasts",
+            ))
+        if not items:
+            return None
+        return OperationPlan(items=tuple(items), settle=self.settle, name=name)
 
 
 @dataclass(frozen=True)

@@ -22,6 +22,7 @@ Two bootstrap modes (docs/architecture.md, "Bootstrap modes"):
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -42,7 +43,9 @@ from repro.monitor.cache import CachedAvailabilityView
 from repro.monitor.coarse_view import GlobalSampleView, ShuffledCoarseView
 from repro.monitor.oracle import OracleAvailability
 from repro.ops.engine import OperationEngine
+from repro.ops.plan import OperationItem, OperationPlan, OperationTiming
 from repro.ops.results import AnycastRecord, MulticastRecord
+from repro.ops.runner import OperationRunner
 from repro.ops.spec import InitiatorBand, TargetSpec
 from repro.overlays.graphs import OverlayGraph
 from repro.overlays.random_overlay import degree_matched_random_predicate
@@ -134,14 +137,17 @@ class AvmemSimulation:
 
     Construction builds every substrate (trace, network, monitoring
     oracle, coarse view, nodes, operation engine) but advances no time;
-    call :meth:`setup` once to warm the system up, then launch
-    operations with :meth:`run_anycast` / :meth:`run_multicast` (or
-    their ``_batch`` variants).  All randomness derives from
+    call :meth:`setup` once to warm the system up, then execute an
+    :class:`~repro.ops.plan.OperationPlan` through :attr:`ops`
+    (``sim.ops.run(plan)``).  The legacy :meth:`run_anycast` /
+    :meth:`run_multicast` (and ``_batch``) methods remain as deprecation
+    shims over the same path.  All randomness derives from
     ``settings.seed``, so a run is reproducible end to end.
 
     >>> sim = AvmemSimulation(SimulationSettings(hosts=200, seed=7))
     >>> sim.setup(warmup=3600.0, settle=600.0)
-    >>> record = sim.run_anycast((0.8, 0.95), initiator_band="mid")
+    >>> item = OperationItem(kind="anycast", target=TargetSpec.range(0.8, 0.95))
+    >>> log = sim.ops.run(OperationPlan.single(item))
     """
 
     def __init__(self, settings: Optional[SimulationSettings] = None):
@@ -149,6 +155,7 @@ class AvmemSimulation:
         self._router = RandomRouter(self.settings.seed)
         self._build()
         self._ready = False
+        self._ops_runner: Optional[OperationRunner] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -400,6 +407,27 @@ class AvmemSimulation:
             return None
         return candidates[int(rng.integers(len(candidates)))]
 
+    @property
+    def ops(self) -> OperationRunner:
+        """The operation-plan entry point: ``sim.ops.run(plan)``.
+
+        Every operation workload — single shots, batches, mixed/timed
+        streams — is an :class:`~repro.ops.plan.OperationPlan` executed
+        here; the legacy ``run_*`` methods below are deprecation shims
+        that compile to single-item plans.
+        """
+        if self._ops_runner is None:
+            self._ops_runner = OperationRunner(self)
+        return self._ops_runner
+
+    def _deprecated_shim(self, old: str, plan_hint: str) -> None:
+        warnings.warn(
+            f"AvmemSimulation.{old}() is a deprecation shim; build an "
+            f"OperationPlan ({plan_hint}) and execute it via sim.ops.run(plan)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
     def run_anycast(
         self,
         target: TargetLike,
@@ -411,20 +439,30 @@ class AvmemSimulation:
         retry: Optional[int] = None,
         settle: float = 30.0,
     ) -> AnycastRecord:
-        """Launch one anycast, run the simulator until it settles, and
-        return the finalized record."""
+        """Deprecation shim: one anycast through the plan path; returns
+        the finalized record."""
+        self._deprecated_shim("run_anycast", "one anycast item, batch timing")
         self._require_ready()
         if initiator is None:
             initiator = self.pick_initiator(initiator_band)
             if initiator is None:
                 raise RuntimeError(f"no online initiator in band {initiator_band!r}")
-        record = self.engine.anycast(
-            initiator, self.as_target(target), policy=policy, selector=selector,
-            ttl=ttl, retry=retry,
+        item = OperationItem(
+            kind="anycast",
+            target=self.as_target(target),
+            count=1,
+            band=initiator_band,
+            initiator=initiator,
+            policy=policy,
+            selector=selector,
+            ttl=ttl,
+            retry=retry,
+            timing=OperationTiming(mode="batch"),
         )
-        self.sim.run_until(self.sim.now + settle)
-        record.finalize()
-        return record
+        execution = self.ops.execute(
+            OperationPlan.single(item, settle=settle, name="run_anycast")
+        )
+        return execution.records[0]
 
     def run_multicast(
         self,
@@ -435,19 +473,27 @@ class AvmemSimulation:
         selector: str = "hs+vs",
         settle: float = 30.0,
     ) -> MulticastRecord:
-        """Launch one multicast and run until it settles."""
+        """Deprecation shim: one multicast through the plan path."""
+        self._deprecated_shim("run_multicast", "one multicast item, batch timing")
         self._require_ready()
         if initiator is None:
             initiator = self.pick_initiator(initiator_band)
             if initiator is None:
                 raise RuntimeError(f"no online initiator in band {initiator_band!r}")
-        record = self.engine.multicast(
-            initiator, self.as_target(target), mode=mode, selector=selector
+        item = OperationItem(
+            kind="multicast",
+            target=self.as_target(target),
+            count=1,
+            band=initiator_band,
+            initiator=initiator,
+            mode=mode,
+            selector=selector,
+            timing=OperationTiming(mode="batch"),
         )
-        self.sim.run_until(self.sim.now + settle)
-        if record.anycast is not None:
-            record.anycast.finalize()
-        return record
+        execution = self.ops.execute(
+            OperationPlan.single(item, settle=settle, name="run_multicast")
+        )
+        return execution.records[0]
 
     def run_anycast_batch(
         self,
@@ -461,25 +507,25 @@ class AvmemSimulation:
         spacing: float = 2.0,
         settle: float = 30.0,
     ) -> List[AnycastRecord]:
-        """Launch ``count`` anycasts ``spacing`` seconds apart (fresh
-        random initiator from the band each time), settle, finalize."""
-        self._require_ready()
-        records: List[AnycastRecord] = []
-        spec = self.as_target(target)
-        for __ in range(count):
-            initiator = self.pick_initiator(initiator_band)
-            if initiator is not None:
-                records.append(
-                    self.engine.anycast(
-                        initiator, spec, policy=policy, selector=selector,
-                        ttl=ttl, retry=retry,
-                    )
-                )
-            self.sim.run_until(self.sim.now + spacing)
-        self.sim.run_until(self.sim.now + settle)
-        for record in records:
-            record.finalize()
-        return records
+        """Deprecation shim: ``count`` anycasts ``spacing`` seconds apart
+        (fresh random initiator from the band each time), settle,
+        finalize — now one interval-timed plan item."""
+        self._deprecated_shim("run_anycast_batch", "one anycast item, interval timing")
+        item = OperationItem(
+            kind="anycast",
+            target=self.as_target(target),
+            count=count,
+            band=initiator_band,
+            policy=policy,
+            selector=selector,
+            ttl=ttl,
+            retry=retry,
+            timing=OperationTiming(mode="interval", spacing=spacing),
+        )
+        execution = self.ops.execute(
+            OperationPlan.single(item, settle=settle, name="run_anycast_batch")
+        )
+        return execution.launched
 
     def run_multicast_batch(
         self,
@@ -491,22 +537,22 @@ class AvmemSimulation:
         spacing: float = 5.0,
         settle: float = 30.0,
     ) -> List[MulticastRecord]:
-        """Launch ``count`` multicasts ``spacing`` seconds apart."""
-        self._require_ready()
-        records: List[MulticastRecord] = []
-        spec = self.as_target(target)
-        for __ in range(count):
-            initiator = self.pick_initiator(initiator_band)
-            if initiator is not None:
-                records.append(
-                    self.engine.multicast(initiator, spec, mode=mode, selector=selector)
-                )
-            self.sim.run_until(self.sim.now + spacing)
-        self.sim.run_until(self.sim.now + settle)
-        for record in records:
-            if record.anycast is not None:
-                record.anycast.finalize()
-        return records
+        """Deprecation shim: ``count`` multicasts ``spacing`` seconds
+        apart — now one interval-timed plan item."""
+        self._deprecated_shim("run_multicast_batch", "one multicast item, interval timing")
+        item = OperationItem(
+            kind="multicast",
+            target=self.as_target(target),
+            count=count,
+            band=initiator_band,
+            mode=mode,
+            selector=selector,
+            timing=OperationTiming(mode="interval", spacing=spacing),
+        )
+        execution = self.ops.execute(
+            OperationPlan.single(item, settle=settle, name="run_multicast_batch")
+        )
+        return execution.launched
 
     # ------------------------------------------------------------------
     # Introspection

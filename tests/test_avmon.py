@@ -108,3 +108,42 @@ class TestMonitorRecord:
             AvmonConfig(monitors_per_node=0)
         with pytest.raises(ValueError):
             AvmonConfig(ping_period=0.0)
+
+
+class TestQueryArray:
+    """The batched query API (scalar/batch parity is the contract)."""
+
+    def test_parity_with_scalar_query(self, avmon_setup):
+        sim, _, ids, service = avmon_setup
+        sim.run_until(3600.0 * 6)  # let discovery + pings accumulate
+        batch = service.query_array(ids)
+        scalar = np.array([service.query(node) for node in ids])
+        np.testing.assert_allclose(batch, scalar)
+        # At least some nodes should have real measurements by now.
+        assert (batch != 0.5).any()
+
+    def test_unknown_node_raises(self, avmon_setup):
+        _, _, ids, service = avmon_setup
+        stranger = make_node_ids(len(ids) + 1)[-1]
+        with pytest.raises(KeyError):
+            service.query_array([ids[0], stranger])
+
+    def test_unmeasured_nodes_answer_the_prior(self, avmon_setup):
+        _, _, ids, service = avmon_setup
+        # No time has passed: nobody has pinged anybody.
+        np.testing.assert_allclose(service.query_array(ids[:7]), 0.5)
+
+    def test_cached_view_uses_the_batch_path(self, avmon_setup):
+        from repro.monitor.cache import CachedAvailabilityView
+
+        sim, _, ids, service = avmon_setup
+        sim.run_until(3600.0 * 6)
+        view = CachedAvailabilityView(service, sim)
+        values = view.fetch_array(ids[:25])
+        np.testing.assert_allclose(
+            values, [service.query(node) for node in ids[:25]]
+        )
+        # The batch lands in the cache (folded lazily on first read).
+        assert view.fetch_count == 25
+        for node, value in zip(ids[:25], values):
+            assert view.get(node) == pytest.approx(value)

@@ -13,8 +13,10 @@ from repro.churn.overnet import OvernetTraceConfig, generate_overnet_trace
 from repro.churn.stats import (
     availability_samples,
     churn_events_per_epoch,
+    churn_events_per_epoch_scalar,
     online_availability_samples,
     online_population_series,
+    online_population_series_scalar,
     summarize_trace,
 )
 from repro.churn.trace import ChurnTrace
@@ -116,3 +118,31 @@ class TestStats:
         data = summarize_trace(trace).as_dict()
         assert "mean_availability" in data
         assert "mean_online_population" in data
+
+
+class TestBatchScalarParity:
+    """The timeline batch paths must agree with the scalar fallbacks."""
+
+    def test_population_series_parity(self, trace):
+        times_batch, counts_batch = online_population_series(trace, 1800.0)
+        times_scalar, counts_scalar = online_population_series_scalar(trace, 1800.0)
+        np.testing.assert_array_equal(times_batch, times_scalar)
+        np.testing.assert_array_equal(counts_batch, counts_scalar)
+
+    def test_population_series_scalar_rejects_bad_dt(self, trace):
+        with pytest.raises(ValueError):
+            online_population_series_scalar(trace, 0.0)
+
+    def test_churn_events_parity(self, trace):
+        batch = churn_events_per_epoch(trace, 1200.0)
+        scalar = churn_events_per_epoch_scalar(trace, 1200.0)
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_churn_events_parity_off_grid_epoch(self, trace):
+        batch = churn_events_per_epoch(trace, 1700.0)
+        scalar = churn_events_per_epoch_scalar(trace, 1700.0)
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_churn_events_scalar_rejects_bad_epoch(self, trace):
+        with pytest.raises(ValueError):
+            churn_events_per_epoch_scalar(trace, -1.0)

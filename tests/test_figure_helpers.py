@@ -9,10 +9,13 @@ from repro.experiments.figures._anycast_common import (
     AnycastVariant,
     mean_delivered_latency_ms,
     status_fractions,
+    variant_plan,
 )
-from repro.experiments.figures._multicast_common import PAPER_SCENARIOS
+from repro.experiments.figures._multicast_common import PAPER_SCENARIOS, scenario_plan
+from repro.experiments.harness import get_scale
+from repro.ops.log import OperationLog
 from repro.ops.results import AnycastRecord, AnycastStatus
-from repro.ops.spec import TargetSpec
+from repro.ops.spec import InitiatorBand, TargetSpec
 
 
 def _record(status, latency=None):
@@ -26,37 +29,41 @@ def _record(status, latency=None):
     return record
 
 
+def _log(records):
+    return OperationLog.from_records(anycasts=records)
+
+
 class TestStatusFractions:
     def test_fractions_sum_to_one(self):
-        records = [
+        log = _log([
             _record(AnycastStatus.DELIVERED),
             _record(AnycastStatus.DELIVERED),
             _record(AnycastStatus.TTL_EXPIRED),
             _record(AnycastStatus.RETRY_EXPIRED),
-        ]
-        fractions = status_fractions(records)
+        ])
+        fractions = status_fractions(log)
         assert sum(fractions.values()) == pytest.approx(1.0)
         assert fractions[AnycastStatus.DELIVERED] == pytest.approx(0.5)
 
     def test_empty_records(self):
-        assert status_fractions([]) == {}
+        assert status_fractions(_log([])) == {}
 
     def test_all_terminal_statuses_keyed(self):
-        fractions = status_fractions([_record(AnycastStatus.LOST)])
+        fractions = status_fractions(_log([_record(AnycastStatus.LOST)]))
         assert set(fractions) == set(AnycastStatus.TERMINAL)
 
 
 class TestLatencyHelper:
     def test_mean_over_delivered_only(self):
-        records = [
+        log = _log([
             _record(AnycastStatus.DELIVERED, latency=0.1),
             _record(AnycastStatus.DELIVERED, latency=0.3),
             _record(AnycastStatus.TTL_EXPIRED),
-        ]
-        assert mean_delivered_latency_ms(records) == pytest.approx(200.0)
+        ])
+        assert mean_delivered_latency_ms(log) == pytest.approx(200.0)
 
     def test_no_deliveries_is_nan(self):
-        assert np.isnan(mean_delivered_latency_ms([_record(AnycastStatus.LOST)]))
+        assert np.isnan(mean_delivered_latency_ms(_log([_record(AnycastStatus.LOST)])))
 
 
 class TestPaperConstants:
@@ -73,3 +80,33 @@ class TestPaperConstants:
         for scenario in PAPER_SCENARIOS:
             spec = scenario.spec()
             assert 0.0 <= spec.lo <= spec.hi <= 1.0
+
+
+class TestFigurePlans:
+    """The figure cells compile to the historical batch schedules."""
+
+    def test_variant_plan_replicates_batch_timing(self):
+        tier = get_scale("small")
+        plan = variant_plan(tier, PAPER_VARIANTS[0], InitiatorBand.MID, (0.85, 0.95))
+        assert len(plan.items) == tier.runs
+        assert plan.total_operations == tier.total_messages
+        schedule = plan.compile()
+        assert len(schedule) == tier.total_messages
+        # First run launches 2 s apart starting at phase 0.
+        first = schedule.times[: tier.messages_per_run]
+        np.testing.assert_allclose(np.diff(first), 2.0)
+        assert first[0] == 0.0
+        # Each later run starts one settle window after the previous
+        # run's trailing spacing.
+        run_span = tier.messages_per_run * 2.0 + 30.0
+        starts = schedule.times[:: tier.messages_per_run]
+        np.testing.assert_allclose(np.diff(starts), run_span)
+
+    def test_scenario_plan_matches_scenario(self):
+        tier = get_scale("small")
+        scenario = PAPER_SCENARIOS[0]
+        plan = scenario_plan(tier, scenario)
+        assert all(item.kind == "multicast" for item in plan.items)
+        assert all(item.mode == scenario.mode for item in plan.items)
+        assert all(item.band == scenario.band for item in plan.items)
+        assert plan.total_operations == tier.total_messages

@@ -1,0 +1,320 @@
+"""Tests for the columnar :class:`~repro.ops.log.OperationLog`.
+
+Covers the append → finalize → export → reload round-trip and checks
+every vectorized aggregation against pure-Python reference math over the
+same synthetic records.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.ids import make_node_ids
+from repro.ops.log import COLUMN_NAMES, STATUSES, OperationLog
+from repro.ops.plan import OperationItem, OperationTiming
+from repro.ops.results import AnycastRecord, AnycastStatus, MulticastRecord
+from repro.ops.spec import TargetSpec
+
+IDS = make_node_ids(40)
+BANDS = ("low", "mid", "high")
+POLICIES = ("greedy", "retry-greedy", "anneal")
+TARGETS = (TargetSpec.range(0.2, 0.4), TargetSpec.threshold(0.6))
+
+
+def synth_anycast(i: int, rng: np.random.Generator) -> AnycastRecord:
+    status = STATUSES[int(rng.integers(2, len(STATUSES)))]  # terminal-ish
+    record = AnycastRecord(
+        op_id=i,
+        initiator=IDS[int(rng.integers(len(IDS)))],
+        target=TARGETS[int(rng.integers(len(TARGETS)))],
+        policy=POLICIES[int(rng.integers(len(POLICIES)))],
+        selector="hs+vs",
+        started_at=float(rng.uniform(0, 100)),
+        status=status,
+    )
+    record.data_messages = int(rng.integers(0, 10))
+    record.ack_messages = int(rng.integers(0, 4))
+    record.retries_used = int(rng.integers(0, 3))
+    if status == AnycastStatus.DELIVERED:
+        record.delivered_at = record.started_at + float(rng.uniform(0.01, 0.5))
+        record.delivery_node = IDS[int(rng.integers(len(IDS)))]
+        record.hops = int(rng.integers(1, 7))
+    return record
+
+
+def synth_multicast(i: int, rng: np.random.Generator) -> MulticastRecord:
+    anycast = synth_anycast(i, rng)
+    eligible = {IDS[j] for j in rng.choice(len(IDS), size=8, replace=False)}
+    record = MulticastRecord(
+        op_id=i,
+        initiator=anycast.initiator,
+        target=anycast.target,
+        mode="flood" if rng.random() < 0.5 else "gossip",
+        selector="hs+vs",
+        started_at=anycast.started_at,
+        anycast=anycast,
+        eligible=eligible,
+    )
+    for node in list(eligible)[: int(rng.integers(0, len(eligible) + 1))]:
+        record.deliveries[node] = record.started_at + float(rng.uniform(0.01, 2.0))
+    for j in range(int(rng.integers(0, 4))):
+        record.spam.append((IDS[j], record.started_at + float(rng.uniform(0.01, 2.0))))
+    record.data_messages = int(rng.integers(0, 200))
+    record.duplicate_receptions = int(rng.integers(0, 50))
+    return record
+
+
+@pytest.fixture
+def synthetic():
+    rng = np.random.default_rng(77)
+    anycasts = [synth_anycast(i, rng) for i in range(60)]
+    multicasts = [synth_multicast(100 + i, rng) for i in range(25)]
+    return anycasts, multicasts
+
+
+@pytest.fixture
+def synthetic_log(synthetic):
+    anycasts, multicasts = synthetic
+    rng = np.random.default_rng(8)
+    builder = OperationLog.builder()
+    bands = []
+    for record in anycasts:
+        band = BANDS[int(rng.integers(3))]
+        bands.append(band)
+        builder.append_anycast(record, band=band, item=0)
+    for record in multicasts:
+        band = BANDS[int(rng.integers(3))]
+        bands.append(band)
+        builder.append_multicast(record, band=band, item=1)
+    # two skipped slots
+    skipped_item = OperationItem(
+        kind="anycast", target=TARGETS[0], band="low",
+        timing=OperationTiming(mode="batch"),
+    )
+    builder.append_skipped(skipped_item, item=0, at=3.0)
+    builder.append_skipped(skipped_item, item=0)
+    return builder.finalize(), bands
+
+
+class TestBuilderAndMasks:
+    def test_row_counts(self, synthetic_log, synthetic):
+        log, _ = synthetic_log
+        anycasts, multicasts = synthetic
+        assert len(log) == len(anycasts) + len(multicasts) + 2
+        assert int(log.launched.sum()) == len(anycasts) + len(multicasts)
+        assert int(log.anycasts.sum()) == len(anycasts) + 2
+        assert int(log.multicasts.sum()) == len(multicasts)
+
+    def test_column_schema(self, synthetic_log):
+        log, _ = synthetic_log
+        assert set(log.columns) == set(COLUMN_NAMES)
+        sizes = {c.size for c in log.columns.values()}
+        assert sizes == {len(log)}
+
+    def test_bad_columns_rejected(self, synthetic_log):
+        log, _ = synthetic_log
+        with pytest.raises(ValueError):
+            OperationLog(dict(log.columns, extra=np.zeros(len(log))))
+        short = dict(log.columns)
+        short["hops"] = short["hops"][:-1]
+        with pytest.raises(ValueError):
+            OperationLog(short)
+
+    def test_unknown_attribute_raises(self, synthetic_log):
+        log, _ = synthetic_log
+        with pytest.raises(AttributeError):
+            log.nonexistent_column
+
+
+class TestReferenceMath:
+    """Vectorized aggregations vs brute-force Python over the records."""
+
+    def test_success_rate(self, synthetic_log, synthetic):
+        log, _ = synthetic_log
+        anycasts, multicasts = synthetic
+        records = anycasts + [m.anycast for m in multicasts]
+        expected = sum(r.status == AnycastStatus.DELIVERED for r in records) / len(records)
+        assert log.success_rate() == pytest.approx(expected)
+
+    def test_status_fractions(self, synthetic_log, synthetic):
+        log, _ = synthetic_log
+        anycasts, multicasts = synthetic
+        statuses = [r.status for r in anycasts] + [m.anycast.status for m in multicasts]
+        counts = Counter(statuses)
+        expected = {
+            status: counts.get(status, 0) / len(statuses)
+            for status in AnycastStatus.TERMINAL
+        }
+        got = log.status_fractions()
+        assert got.keys() == expected.keys()
+        for status in expected:
+            assert got[status] == pytest.approx(expected[status])
+
+    def test_latency_percentiles(self, synthetic_log, synthetic):
+        log, _ = synthetic_log
+        anycasts, multicasts = synthetic
+        latencies = [
+            r.latency
+            for r in anycasts + [m.anycast for m in multicasts]
+            if r.latency is not None
+        ]
+        expected = 1000.0 * np.percentile(latencies, [50, 90])
+        np.testing.assert_allclose(log.latency_percentiles((50, 90)), expected)
+        assert log.mean_latency_ms() == pytest.approx(1000.0 * np.mean(latencies))
+
+    def test_hop_fractions(self, synthetic_log, synthetic):
+        log, _ = synthetic_log
+        anycasts, multicasts = synthetic
+        hops = [
+            r.hops
+            for r in anycasts + [m.anycast for m in multicasts]
+            if r.status == AnycastStatus.DELIVERED
+        ]
+        for limit in (1, 3, 6):
+            expected = sum(h <= limit for h in hops) / len(hops)
+            assert log.hop_fraction_within(limit) == pytest.approx(expected)
+
+    def test_reliability_and_spam(self, synthetic_log, synthetic):
+        log, _ = synthetic_log
+        _, multicasts = synthetic
+        expected_rel = [m.reliability() for m in multicasts]
+        expected_spam = [m.spam_ratio() for m in multicasts]
+        np.testing.assert_allclose(log.reliability_values(), expected_rel)
+        np.testing.assert_allclose(log.spam_ratio_values(), expected_spam)
+        expected_worst = [
+            m.worst_latency() for m in multicasts if m.worst_latency() is not None
+        ]
+        np.testing.assert_allclose(log.worst_latencies(), expected_worst)
+
+    def test_grouped_aggregation(self, synthetic_log, synthetic):
+        log, bands = synthetic_log
+        anycasts, multicasts = synthetic
+        rows = list(zip(anycasts + [m.anycast for m in multicasts], bands))
+        grouped = log.aggregate(by=("band",), mask=log.launched)
+        assert {entry["band"] for entry in grouped} == set(bands)
+        for entry in grouped:
+            members = [r for r, band in rows if band == entry["band"]]
+            assert entry["launched"] == len(members)
+            delivered = [r for r in members if r.status == AnycastStatus.DELIVERED]
+            assert entry["delivered"] == len(delivered)
+            assert entry["success_rate"] == pytest.approx(
+                len(delivered) / len(members)
+            )
+            if delivered:
+                assert entry["mean_hops"] == pytest.approx(
+                    np.mean([r.hops for r in delivered])
+                )
+                assert entry["latency_p50_ms"] == pytest.approx(
+                    1000.0 * np.percentile([r.latency for r in delivered], 50)
+                )
+
+    def test_grouped_by_kind_and_target(self, synthetic_log, synthetic):
+        log, _ = synthetic_log
+        anycasts, multicasts = synthetic
+        grouped = log.aggregate(by=("kind", "target"))
+        # every (kind, target) combination present in the synthetic data
+        seen = {(e["kind"], (e["target"]["lo"], e["target"]["hi"])) for e in grouped}
+        expected = {("anycast", (r.target.lo, r.target.hi)) for r in anycasts}
+        expected |= {("multicast", (m.target.lo, m.target.hi)) for m in multicasts}
+        assert seen == expected
+        assert sum(e["rows"] for e in grouped) == len(log)
+
+    def test_aggregate_rejects_float_columns(self, synthetic_log):
+        log, _ = synthetic_log
+        with pytest.raises(ValueError):
+            log.aggregate(by=("latency",))
+        with pytest.raises(ValueError):
+            log.aggregate(by=())
+
+
+class TestRoundTrip:
+    def test_json(self, synthetic_log, tmp_path):
+        log, _ = synthetic_log
+        path = tmp_path / "log.json"
+        log.to_json(str(path))
+        reloaded = OperationLog.from_json(str(path))
+        for name in COLUMN_NAMES:
+            np.testing.assert_array_equal(
+                log.columns[name], reloaded.columns[name], err_msg=name
+            )
+            assert log.columns[name].dtype == reloaded.columns[name].dtype
+
+    def test_csv(self, synthetic_log, tmp_path):
+        log, _ = synthetic_log
+        path = tmp_path / "log.csv"
+        log.to_csv(str(path))
+        reloaded = OperationLog.from_csv(str(path))
+        for name in COLUMN_NAMES:
+            np.testing.assert_array_equal(
+                log.columns[name], reloaded.columns[name], err_msg=name
+            )
+
+    def test_csv_header_check(self, synthetic_log, tmp_path):
+        log, _ = synthetic_log
+        path = tmp_path / "bad.csv"
+        path.write_text("not,a,log\n1,2,3\n")
+        with pytest.raises(ValueError):
+            OperationLog.from_csv(str(path))
+
+    def test_aggregations_survive_reload(self, synthetic_log, tmp_path):
+        log, _ = synthetic_log
+        path = tmp_path / "log.json"
+        log.to_json(str(path))
+        reloaded = OperationLog.from_json(str(path))
+        assert reloaded.summary() == log.summary()
+
+
+class TestEdgeCases:
+    def test_empty_log(self):
+        log = OperationLog.builder().finalize()
+        assert len(log) == 0
+        assert log.status_fractions() == {}
+        assert np.isnan(log.success_rate())
+        assert np.isnan(log.mean_latency_ms())
+        assert log.aggregate(by=("kind",)) == []
+        summary = log.summary()
+        assert summary["operations"] == 0
+
+    def test_skipped_rows_excluded_from_metrics(self, synthetic_log, synthetic):
+        log, _ = synthetic_log
+        anycasts, multicasts = synthetic
+        # skipped rows count as rows but never as launched/delivered
+        assert len(log) - int(log.launched.sum()) == 2
+        fractions = log.status_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_row_decoding(self, synthetic_log, synthetic):
+        log, bands = synthetic_log
+        anycasts, _ = synthetic
+        row = log.row(0)
+        assert row["kind"] == "anycast"
+        assert row["status"] == anycasts[0].status
+        assert row["band"] == bands[0]
+        assert row["policy"] == anycasts[0].policy
+        skipped = log.row(len(log) - 1)
+        assert skipped["status"] == "skipped"
+        assert skipped["op_id"] == -1
+
+    def test_from_records_band_propagates(self, synthetic):
+        anycasts, _ = synthetic
+        log = OperationLog.from_records(anycasts=anycasts[:5], band="high")
+        assert all(log.row(i)["band"] == "high" for i in range(5))
+
+
+class TestVocabularyGuard:
+    def test_json_embeds_and_verifies_vocabularies(self, synthetic_log, tmp_path):
+        import json
+
+        log, _ = synthetic_log
+        path = tmp_path / "log.json"
+        log.to_json(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["vocabularies"]["status"] == list(STATUSES)
+        # Simulate a vocabulary drift: the reload must refuse to decode.
+        payload["vocabularies"]["policy"] = ["zzz"] + payload["vocabularies"]["policy"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="vocabularies"):
+            OperationLog.from_json(str(path))

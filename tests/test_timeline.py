@@ -211,3 +211,34 @@ class TestMatrixRoundTrip:
         timeline, _ = make_pair([[(0.0, 500.0)], [(250.0, 1000.0)]])
         matrix = timeline.online_mask_matrix([100.0, 600.0])
         assert matrix.tolist() == [[True, False], [False, True]]
+
+
+class TestSeriesQueries:
+    """The whole-population series batch paths (stats ride these)."""
+
+    def test_online_count_series_matches_online_count(self):
+        timeline, _ = make_pair(
+            [[(0.0, 500.0)], [(250.0, 1000.0)], [(100.0, 300.0), (600.0, 900.0)]]
+        )
+        times = np.array([0.0, 99.9, 250.0, 500.0, 650.0, 999.0, 1000.0])
+        counts = timeline.online_count_series(times)
+        assert counts.tolist() == [timeline.online_count(t) for t in times]
+
+    def test_online_mask_matrix_matches_online_mask(self):
+        timeline, _ = make_pair(
+            [[(0.0, 500.0)], [(250.0, 1000.0)], [(100.0, 300.0), (600.0, 900.0)]]
+        )
+        times = [0.0, 250.0, 550.0, 899.9, 1000.0]
+        matrix = timeline.online_mask_matrix(times)
+        for row, t in enumerate(times):
+            assert matrix[row].tolist() == timeline.online_mask(t).tolist()
+
+    def test_online_mask_matrix_unsorted_times(self):
+        timeline, _ = make_pair([[(0.0, 500.0)], [(250.0, 1000.0)]])
+        matrix = timeline.online_mask_matrix([600.0, 100.0])
+        assert matrix.tolist() == [[False, True], [True, False]]
+
+    def test_empty_times(self):
+        timeline, _ = make_pair([[(0.0, 500.0)]])
+        assert timeline.online_mask_matrix([]).shape == (0, 1)
+        assert timeline.online_count_series([]).size == 0
