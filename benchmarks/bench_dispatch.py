@@ -1,0 +1,272 @@
+"""Batched network dispatch vs the preserved per-hop path.
+
+Two families of timings:
+
+* **Substrate micro** — raw ``Network.send_batch`` cohorts over a
+  churn-trace presence oracle: the batched path (one vectorized latency
+  draw, one batched arrival-instant presence query, one event per
+  arrival-time cohort) against ``batched=False`` (the per-hop loop of
+  scalar sends the seed used).  Delivery counts and accounting totals
+  are asserted equal on every run.
+
+* **End-to-end plan execution** — a multicast-heavy
+  :class:`~repro.ops.plan.OperationPlan` through two identically-seeded
+  simulations, ``dispatch="batch"`` vs ``dispatch="per-hop"``.  The
+  per-hop simulation also keeps the scalar ``_eligible_nodes`` loop
+  (O(N) python per multicast launch), which is exactly the seed shape.
+  Record-level parity (status, hops, transmissions, latencies, multicast
+  tallies) is asserted run for run.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_dispatch.py            # N = 20k
+    PYTHONPATH=src python benchmarks/bench_dispatch.py --quick    # CI smoke
+
+Acceptance bar: ≥ 3× end-to-end speedup at N ≥ 20 000 hosts (asserted
+whenever the sweep includes such an N).  Results land in
+``benchmarks/results/BENCH_dispatch.json`` (:mod:`bench_util`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from bench_util import emit_bench_json
+from repro.churn.overnet import OvernetTraceConfig, generate_overnet_trace
+from repro.core.ids import make_node_ids
+from repro.ops.plan import OperationItem, OperationPlan, OperationTiming
+from repro.ops.spec import TargetSpec
+from repro.sim.engine import Simulator
+from repro.sim.latency import PAPER_HOP_LATENCY
+from repro.sim.network import Network
+from repro.simulation import AvmemSimulation, SimulationSettings
+
+SPEEDUP_BAR = 3.0
+BAR_AT_HOSTS = 20_000
+
+
+def timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# Substrate micro: raw cohort dispatch over a churn trace
+# ----------------------------------------------------------------------
+def micro_dispatch(hosts: int, cohort: int, rounds: int, seed: int) -> Dict[str, object]:
+    ids = make_node_ids(hosts)
+    trace = generate_overnet_trace(
+        node_keys=ids,
+        config=OvernetTraceConfig(hosts=hosts, epochs=12, epoch_seconds=1200.0),
+        rng=np.random.default_rng(seed),
+    )
+    pick = np.random.default_rng(seed + 1)
+    cohorts = [
+        [ids[j] for j in pick.integers(0, hosts, size=cohort)] for _ in range(rounds)
+    ]
+
+    def run(batched: bool):
+        sim = Simulator()
+        network = Network(
+            sim,
+            latency=PAPER_HOP_LATENCY,
+            presence=trace,
+            rng=np.random.default_rng(seed + 2),
+            batched=batched,
+        )
+        received = [0]
+
+        def on_message(envelope):
+            received[0] += 1
+
+        for node in ids:
+            network.attach(node, on_message)
+        sim.run_until(3600.0)
+        src = next(node for node in ids if trace.is_online(node, sim.now))
+        for batch in cohorts:
+            network.send_batch(src, batch, "payload")
+            sim.run()
+        return received[0], network.stats.snapshot()
+
+    (batch_received, batch_stats), batch_s = timed(run, True)
+    (hop_received, hop_stats), hop_s = timed(run, False)
+    assert batch_received == hop_received, "delivery-count parity violated"
+    assert batch_stats == hop_stats, "NetworkStats parity violated"
+    return {
+        "hosts": hosts,
+        "cohort": cohort,
+        "rounds": rounds,
+        "messages": cohort * rounds,
+        "delivered": batch_received,
+        "per_hop_seconds": hop_s,
+        "batch_seconds": batch_s,
+        "speedup": hop_s / batch_s if batch_s > 0 else float("inf"),
+    }
+
+
+# ----------------------------------------------------------------------
+# End-to-end: multicast-heavy plan, batch vs per-hop simulations
+# ----------------------------------------------------------------------
+def build_sim(hosts: int, seed: int, dispatch: str) -> AvmemSimulation:
+    simulation = AvmemSimulation(
+        SimulationSettings(
+            hosts=hosts,
+            epochs=24,
+            seed=seed,
+            dispatch=dispatch,
+            # Dispatch-bound measurement: the overlay is installed by the
+            # direct bootstrap and frozen, so the timed window contains
+            # only operation traffic (no discovery/refresh event load).
+            protocols="off",
+        )
+    )
+    simulation.setup(warmup=7200.0, settle=0.0)
+    return simulation
+
+
+def multicast_heavy_plan() -> OperationPlan:
+    # A paper-shaped multicast sweep: range multicasts into the dense
+    # availability bands (Section 4.2's range targets), flood and gossip
+    # dissemination, plus a retried-greedy anycast stream.  Every launch
+    # snapshots population-wide eligibility and every reception computes
+    # its in-range neighbor cohort — the two per-operation costs the
+    # batched layer vectorizes — on top of the per-message dispatch.
+    floods = OperationItem(
+        kind="multicast", target=TargetSpec.range(0.85, 0.95), count=32,
+        band="high", mode="flood",
+        timing=OperationTiming(mode="interval", spacing=20.0),
+    )
+    gossips = OperationItem(
+        kind="multicast", target=TargetSpec.range(0.85, 0.95), count=12,
+        band="high", mode="gossip",
+        timing=OperationTiming(mode="interval", spacing=20.0, phase=5.0),
+    )
+    anycasts = OperationItem(
+        kind="anycast", target=TargetSpec.range(0.6, 0.95), count=10,
+        policy="retry-greedy",
+        timing=OperationTiming(mode="interval", spacing=8.0, phase=2.0),
+    )
+    return OperationPlan(items=(floods, gossips, anycasts), settle=60.0)
+
+
+def anycast_fields(record):
+    return (
+        record.op_id, record.initiator, record.status, record.hops,
+        record.latency, record.data_messages, record.ack_messages,
+        record.retries_used, record.started_at, record.delivered_at,
+        record.delivery_node,
+    )
+
+
+def assert_record_parity(batch_records, hop_records) -> None:
+    assert len(batch_records) == len(hop_records), "launch-count parity violated"
+    for new, old in zip(batch_records, hop_records):
+        assert (new is None) == (old is None), "skipped-slot parity violated"
+        if new is None:
+            continue
+        if hasattr(new, "deliveries"):
+            assert new.mode == old.mode
+            assert new.eligible == old.eligible, "eligible-set parity violated"
+            assert new.deliveries == old.deliveries, "delivery parity violated"
+            assert sorted(new.spam) == sorted(old.spam), "spam parity violated"
+            assert new.data_messages == old.data_messages
+            assert new.duplicate_receptions == old.duplicate_receptions
+            assert anycast_fields(new.anycast) == anycast_fields(old.anycast)
+        else:
+            assert anycast_fields(new) == anycast_fields(old), (
+                "anycast record parity violated"
+            )
+
+
+def sweep_execution(hosts: int, seed: int) -> Dict[str, object]:
+    batch_sim, batch_build_s = timed(build_sim, hosts, seed, "batch")
+    hop_sim, hop_build_s = timed(build_sim, hosts, seed, "per-hop")
+    plan = multicast_heavy_plan()
+    batch_exec, batch_s = timed(batch_sim.ops.execute, plan)
+    hop_exec, hop_s = timed(hop_sim.ops.execute, plan)
+    assert_record_parity(batch_exec.records, hop_exec.records)
+    assert (
+        batch_sim.network.stats.snapshot() == hop_sim.network.stats.snapshot()
+    ), "NetworkStats parity violated"
+    log = batch_exec.log
+    return {
+        "hosts": hosts,
+        "operations": plan.total_operations,
+        "messages_sent": batch_sim.network.stats.sent,
+        "events_batch": batch_sim.sim.events_processed,
+        "events_per_hop": hop_sim.sim.events_processed,
+        "success_rate": log.success_rate(),
+        "build_seconds": (batch_build_s + hop_build_s) / 2.0,
+        "per_hop_seconds": hop_s,
+        "batch_seconds": batch_s,
+        "speedup": hop_s / batch_s if batch_s > 0 else float("inf"),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--hosts", type=int, nargs="+", default=None,
+                        help="host counts for the end-to-end sweep")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: small population, no speedup bar")
+    parser.add_argument("--json", default=None, help="override the BENCH json path")
+    args = parser.parse_args(argv)
+
+    if args.hosts is not None:
+        sizes = args.hosts
+    elif args.quick:
+        sizes = [2_000]
+    else:
+        sizes = [BAR_AT_HOSTS]
+
+    micro_cohort = 256 if args.quick else 1024
+    micro_rounds = 40 if args.quick else 100
+    micro_hosts = 2_000 if args.quick else 20_000
+    print("substrate micro: send_batch cohorts vs per-hop scalar sends")
+    micro = micro_dispatch(micro_hosts, micro_cohort, micro_rounds, args.seed)
+    print(
+        f"  {micro['messages']} messages over {micro['hosts']} hosts "
+        f"(cohort {micro['cohort']}): per-hop {micro['per_hop_seconds']:.3f}s, "
+        f"batch {micro['batch_seconds']:.3f}s ({micro['speedup']:.1f}x, parity ok)"
+    )
+
+    print()
+    print("end-to-end: multicast-heavy plan, dispatch=batch vs dispatch=per-hop")
+    print(f"{'hosts':>8} {'build_s':>9} {'per_hop_s':>10} {'batch_s':>9} {'speedup':>8}")
+    execution: List[Dict[str, object]] = []
+    for hosts in sizes:
+        row = sweep_execution(hosts, args.seed)
+        execution.append(row)
+        print(
+            f"{row['hosts']:>8} {row['build_seconds']:>9.2f} "
+            f"{row['per_hop_seconds']:>10.3f} {row['batch_seconds']:>9.3f} "
+            f"{row['speedup']:>8.1f}x"
+        )
+    for row in execution:
+        if row["hosts"] >= BAR_AT_HOSTS:
+            assert row["speedup"] >= SPEEDUP_BAR, (
+                f"dispatch speedup bar missed at {row['hosts']} hosts: "
+                f"{row['speedup']:.1f}x < {SPEEDUP_BAR}x"
+            )
+
+    emit_bench_json(
+        "dispatch",
+        {
+            "speedup_bar": SPEEDUP_BAR,
+            "bar_at_hosts": BAR_AT_HOSTS,
+            "micro": micro,
+            "execution": execution,
+        },
+        path=args.json,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

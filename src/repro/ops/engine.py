@@ -37,6 +37,7 @@ from repro.sim.network import Envelope, Network
 __all__ = ["OperationEngine"]
 
 TruthFn = Callable[[NodeId], float]
+TruthEligibleFn = Callable[[TargetSpec], Set[NodeId]]
 
 
 @dataclass
@@ -81,12 +82,18 @@ class OperationEngine:
         truth_availability: TruthFn,
         rng: Optional[np.random.Generator] = None,
         verify_inbound: bool = False,
+        truth_eligible: Optional[TruthEligibleFn] = None,
     ):
         self.sim = sim
         self.network = network
         self.nodes = nodes
         self.config = config
         self.truth_availability = truth_availability
+        #: optional batched eligibility snapshot — "which online nodes are
+        #: truly in this target right now" answered in one vectorized pass
+        #: (the simulation answers straight from its churn timeline);
+        #: None falls back to the scalar O(N) loop over truth_availability
+        self.truth_eligible = truth_eligible
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.verify_inbound = verify_inbound
         self.anycasts: Dict[int, AnycastRecord] = {}
@@ -205,7 +212,16 @@ class OperationEngine:
 
     def _eligible_nodes(self, target: TargetSpec) -> Set[NodeId]:
         """Online nodes whose *true* availability is in the target — the
-        Fig 12/13 denominator."""
+        Fig 12/13 denominator.
+
+        With a ``truth_eligible`` snapshot function the whole question is
+        answered in a few vectorized passes over the ground-truth
+        timeline; the scalar loop is kept as the fallback (and the
+        per-hop parity baseline) and produces the same set — truth is
+        only consulted for online nodes on both paths.
+        """
+        if self.truth_eligible is not None:
+            return set(self.truth_eligible(target))
         eligible: Set[NodeId] = set()
         for node_id in self.nodes:
             if self.network.is_online(node_id) and target.contains(
@@ -261,7 +277,15 @@ class OperationEngine:
     def _record_delivery(
         self, record: AnycastRecord, node: AvmemNode, message: AnycastMessage
     ) -> None:
-        if record.status == AnycastStatus.PENDING:
+        # Retried greedy can have several copies of one operation in
+        # flight (ack lost or slower than the ack timeout): a stale copy
+        # that dies first may have classified the record TTL_EXPIRED /
+        # NO_NEIGHBOR / RETRY_EXPIRED while this duplicate was still
+        # traveling.  A message reaching the target is a genuine delivery
+        # regardless, so it overrides those premature classifications;
+        # only an earlier DELIVERED (the first delivery wins) and the
+        # nothing-in-flight statuses (LOST, INITIATOR_OFFLINE) stand.
+        if record.status in AnycastStatus.DELIVERY_OVERRIDABLE:
             record.status = AnycastStatus.DELIVERED
             record.delivered_at = self.sim.now
             record.delivery_node = node.id
@@ -313,8 +337,14 @@ class OperationEngine:
         forwarded = state.base_message.hop(
             state.holder, candidate, attempt, retry=state.retry_remaining
         )
+        if not self.network.send(state.holder, candidate, forwarded):
+            # The holder is offline at send time: nothing hit the wire,
+            # so arming an ack timeout would later charge a retry for a
+            # transmission that never happened.  The message dies here —
+            # the same outcome _on_ack_timeout applies to a holder that
+            # went offline while waiting.
+            return
         self._pending[attempt] = state
-        self.network.send(state.holder, candidate, forwarded)
         state.timeout = self.sim.schedule(
             self.config.anycast.ack_timeout, self._on_ack_timeout, attempt
         )
@@ -397,22 +427,43 @@ class OperationEngine:
         self, node: AvmemNode, record: MulticastRecord
     ) -> List[NodeId]:
         """Neighbors whose *cached* availability lies in the target —
-        stale caches here are exactly what produces spam (Fig 12)."""
-        return [
-            entry.node
-            for entry in node.lists.entries(record.selector)
-            if record.target.contains(entry.availability)
-        ]
+        stale caches here are exactly what produces spam (Fig 12).
+
+        Under batched dispatch this runs on the columnar membership
+        snapshot (one mask over the availability column) instead of
+        materializing ``MemberEntry`` objects per reception; the
+        ``NeighborView`` listing order is the ``entries()`` order, so
+        both paths yield the identical list.
+        """
+        if not self.network.batched:
+            return [
+                entry.node
+                for entry in node.lists.entries(record.selector)
+                if record.target.contains(entry.availability)
+            ]
+        view = node.lists.neighbor_arrays()
+        mask = record.target.contains_array(view.availabilities)
+        if record.selector == SliverSelector.HS_ONLY:
+            mask &= view.horizontal
+        elif record.selector == SliverSelector.VS_ONLY:
+            mask &= ~view.horizontal
+        return list(view.nodes[np.flatnonzero(mask)])
 
     def _flood_from(
         self, node: AvmemNode, record: MulticastRecord, message: MulticastMessage
     ) -> None:
         forwarded = message.forwarded(node.id)
-        for neighbor in self._in_range_neighbors(node, record):
-            if neighbor == message.sender:
-                continue
-            self.network.send(node.id, neighbor, forwarded)
-            record.data_messages += 1
+        targets = [
+            neighbor
+            for neighbor in self._in_range_neighbors(node, record)
+            if neighbor != message.sender
+        ]
+        if targets:
+            # One batched dispatch for the whole fan-out cohort; the
+            # message tally counts transmission attempts, exactly as the
+            # per-send increment did.
+            self.network.send_batch(node.id, targets, forwarded)
+            record.data_messages += len(targets)
 
     # -- gossip ---------------------------------------------------------
     def _begin_gossip(
@@ -444,18 +495,24 @@ class OperationEngine:
                 sender=node_id,
                 mode="gossip",
             )
-            sent = 0
             # Deterministic iteration through the list (paper's choice),
             # resuming right after the last neighbor sent to.  The list
             # is recomputed each round, so the position is re-anchored by
             # node identity; if that neighbor was evicted in the
             # meantime, iteration restarts from the front (sent_to
-            # suppresses duplicates).
+            # suppresses duplicates).  The round's picks are collected
+            # first and dispatched as one batch — the selection consumes
+            # no randomness, so the cohort's latency draws land in the
+            # same stream order as the per-send loop's.
             index = 0
-            if state.resume_after is not None and state.resume_after in candidates:
-                index = candidates.index(state.resume_after) + 1
+            if state.resume_after is not None:
+                try:
+                    index = candidates.index(state.resume_after) + 1
+                except ValueError:
+                    index = 0  # evicted since last round: restart from the front
             scanned = 0
-            while sent < self.config.gossip.fanout and scanned < len(candidates):
+            targets: List[NodeId] = []
+            while len(targets) < self.config.gossip.fanout and scanned < len(candidates):
                 target_node = candidates[index % len(candidates)]
                 index += 1
                 scanned += 1
@@ -463,9 +520,10 @@ class OperationEngine:
                     continue
                 state.sent_to.add(target_node)
                 state.resume_after = target_node
-                self.network.send(node_id, target_node, message)
-                record.data_messages += 1
-                sent += 1
+                targets.append(target_node)
+            if targets:
+                self.network.send_batch(node_id, targets, message)
+                record.data_messages += len(targets)
         state.rounds_left -= 1
         if state.rounds_left > 0:
             self.sim.schedule(

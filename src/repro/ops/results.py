@@ -38,6 +38,16 @@ class AnycastStatus:
         INITIATOR_OFFLINE,
     )
 
+    #: Non-delivered statuses a late genuine delivery may override.  A
+    #: retried-greedy operation can have several copies of the message in
+    #: flight at once (ack lost or late → the holder re-sends while the
+    #: original is still traveling); the copy that dies first classifies
+    #: the record terminally, but a surviving duplicate reaching the
+    #: target is still a real delivery and must win.  LOST and
+    #: INITIATOR_OFFLINE are excluded: both are only assigned when no
+    #: message can still be in flight.
+    DELIVERY_OVERRIDABLE = (PENDING, TTL_EXPIRED, RETRY_EXPIRED, NO_NEIGHBOR)
+
 
 @dataclass
 class AnycastRecord:

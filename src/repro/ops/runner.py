@@ -13,6 +13,13 @@ the :class:`~repro.ops.engine.OperationEngine`, then drain to the
 schedule horizon, run the settle window, finalize the records, and
 freeze everything into a columnar :class:`~repro.ops.log.OperationLog`.
 
+Band-addressed launches sharing one launch instant form a natural
+cohort: the per-band candidate set is a pure function of (band, sim
+time), so it is computed once per (band, instant) — one vectorized
+presence + availability pass — and every same-offset slot draws its
+initiator from the shared list, consuming the ``"initiators"`` stream
+exactly as the per-slot recomputation did.
+
 Deterministic plans consume randomness from exactly the same streams in
 exactly the same order as the historical scalar batch loops, so a seeded
 shim call and its explicit-plan equivalent produce identical records
@@ -22,7 +29,7 @@ shim call and its explicit-plan equivalent produce identical records
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.ids import NodeId
 from repro.ops.log import OperationLog
@@ -59,10 +66,15 @@ class OperationRunner:
 
     #: rng stream names (on the simulation's router)
     TIMING_STREAM = "ops-plan-timing"
+    INITIATOR_STREAM = "initiators"
 
     def __init__(self, simulation):
         self._simulation = simulation
         self._by_endpoint: Optional[dict] = None
+        # Per-launch-instant cache of band -> initiator candidate lists
+        # (valid only while sim.now is unchanged; see _pick_from_band).
+        self._band_cache: Dict[str, List[NodeId]] = {}
+        self._band_cache_time: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -75,6 +87,13 @@ class OperationRunner:
         """Execute ``plan``, keeping record-level results too."""
         simulation = self._simulation
         simulation._require_ready()
+        # The endpoint index is rebuilt per execution: the population may
+        # have changed since the last plan ran, and a stale index would
+        # resolve endpoint-addressed initiators against nodes that no
+        # longer exist (or miss ones that now do).
+        self._by_endpoint = None
+        self._band_cache = {}
+        self._band_cache_time = None
         schedule = plan.compile(rng=simulation._router.get(self.TIMING_STREAM))
         sim = simulation.sim
         engine = simulation.engine
@@ -139,7 +158,7 @@ class OperationRunner:
         simulation = self._simulation
         initiator = item.initiator
         if initiator is None:
-            return simulation.pick_initiator(item.band)
+            return self._pick_from_band(item.band)
         if isinstance(initiator, NodeId):
             return initiator
         if isinstance(initiator, bool):
@@ -156,3 +175,26 @@ class OperationRunner:
                 raise ValueError(f"unknown initiator endpoint {initiator!r}")
             return node
         raise TypeError(f"cannot resolve initiator {initiator!r}")
+
+    def _pick_from_band(self, band: str) -> Optional[NodeId]:
+        """Draw a band initiator, sharing the candidate set across every
+        launch slot at the current instant.
+
+        The candidate list is deterministic given (band, sim.now), so
+        same-offset slots reuse one vectorized computation while drawing
+        from the ``"initiators"`` stream exactly like per-slot
+        :meth:`~repro.simulation.AvmemSimulation.pick_initiator` calls.
+        """
+        simulation = self._simulation
+        now = simulation.sim.now
+        if self._band_cache_time != now:
+            self._band_cache = {}
+            self._band_cache_time = now
+        candidates = self._band_cache.get(band)
+        if candidates is None:
+            candidates = simulation.band_initiator_candidates(band)
+            self._band_cache[band] = candidates
+        if not candidates:
+            return None
+        rng = simulation._router.get(self.INITIATOR_STREAM)
+        return candidates[int(rng.integers(len(candidates)))]

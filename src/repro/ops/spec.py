@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+import numpy as np
+
 from repro.util.mathx import point_to_interval_distance
 from repro.util.validation import check_fraction_interval
 
@@ -61,6 +63,14 @@ class TargetSpec:
             return self.lo < availability <= self.hi
         return self.lo <= availability <= self.hi
 
+    def contains_array(self, availabilities) -> "np.ndarray":
+        """Vectorized :meth:`contains` over an availability array — the
+        same closed-range / exclusive-threshold branch semantics."""
+        values = np.asarray(availabilities, dtype=float)
+        if self.kind == "threshold":
+            return (self.lo < values) & (values <= self.hi)
+        return (self.lo <= values) & (values <= self.hi)
+
     def distance(self, availability: float) -> float:
         """The greedy metric: Euclidean distance from the availability to
         the edge of the region (0 inside)."""
@@ -100,6 +110,13 @@ class InitiatorBand:
     def contains(cls, band: str, availability: float) -> bool:
         lo, hi = cls.BOUNDS[cls.validate(band)]
         return lo <= availability < hi
+
+    @classmethod
+    def contains_array(cls, band: str, availabilities) -> "np.ndarray":
+        """Vectorized :meth:`contains` — the same half-open bounds."""
+        lo, hi = cls.BOUNDS[cls.validate(band)]
+        values = np.asarray(availabilities, dtype=float)
+        return (values >= lo) & (values < hi)
 
 
 #: The paper's range-operation targets (Section 4.2).

@@ -25,11 +25,22 @@ __all__ = [
 
 
 class LatencyModel(abc.ABC):
-    """Strategy producing a one-way delivery latency per message, in seconds."""
+    """Strategy producing a one-way delivery latency per message, in seconds.
 
-    @abc.abstractmethod
+    Models implement the vectorized :meth:`sample_array` (the batched
+    dispatch layer draws whole send cohorts in one call); the scalar
+    :meth:`sample` delegates to it, so a cohort of ``n`` draws consumes
+    the rng stream exactly like ``n`` successive scalar draws — the
+    invariant the batched-vs-per-hop dispatch parity tests rely on.
+    """
+
     def sample(self, rng: np.random.Generator) -> float:
         """Draw one latency (seconds, > 0)."""
+        return float(self.sample_array(rng, 1)[0])
+
+    @abc.abstractmethod
+    def sample_array(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` latencies in one vectorized pass (seconds, > 0)."""
 
     @abc.abstractmethod
     def mean(self) -> float:
@@ -44,6 +55,10 @@ class ConstantLatency(LatencyModel):
 
     def sample(self, rng: np.random.Generator) -> float:
         return self.value
+
+    def sample_array(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        # Deterministic: consumes no randomness, like the scalar path.
+        return np.full(n, self.value, dtype=float)
 
     def mean(self) -> float:
         return self.value
@@ -65,7 +80,13 @@ class UniformLatency(LatencyModel):
             raise ValueError(f"high must be >= low, got [{low!r}, {high!r}]")
 
     def sample(self, rng: np.random.Generator) -> float:
+        # Value- and stream-identical to sample_array(rng, 1)[0], without
+        # the per-call array allocation (singles are the anycast/ack hot
+        # path).
         return float(rng.uniform(self.low, self.high))
+
+    def sample_array(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=n)
 
     def mean(self) -> float:
         return (self.low + self.high) / 2.0
@@ -88,6 +109,9 @@ class LogNormalLatency(LatencyModel):
 
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.lognormal(self._mu, self.sigma))
+
+    def sample_array(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.lognormal(self._mu, self.sigma, size=n)
 
     def mean(self) -> float:
         return self.median * math.exp(self.sigma**2 / 2.0)

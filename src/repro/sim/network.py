@@ -6,6 +6,17 @@ destination is online at the arrival instant (per the churn trace); a
 message to an offline node is silently dropped — exactly the failure mode
 that the paper's retried-greedy anycast (Section 3.2) exists to mask.
 
+Single messages go through :meth:`Network.send` — one latency draw, one
+simulator event.  Fan-out cohorts (multicast floods, gossip rounds) go
+through :meth:`Network.send_batch`, which samples the whole cohort's
+latencies in one vectorized draw, answers destination presence *at the
+per-message arrival instants* with one batched oracle query, and
+enqueues one simulator event per arrival-time cohort instead of one per
+message.  Both paths deliver identically (same rng stream consumption,
+same handler invocation order) — property-tested in
+``tests/test_dispatch.py`` — and ``batched=False`` degrades
+``send_batch`` to the per-hop loop for parity baselines.
+
 The network layer is deliberately dumb: no acknowledgements, no retries.
 Those are protocol behaviours and live in :mod:`repro.ops`, built from
 plain messages plus simulator timeouts.
@@ -14,7 +25,7 @@ plain messages plus simulator timeouts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, Optional, Protocol
+from typing import Any, Callable, Dict, Hashable, List, Optional, Protocol, Sequence
 
 import numpy as np
 
@@ -31,7 +42,14 @@ class PresenceOracle(Protocol):
     """Answers whether a node is online at a given simulation time.
 
     Implemented by :class:`repro.churn.trace.ChurnTrace` and by the
-    always-on oracle used in unit tests.
+    always-on oracle used in unit tests.  Presence must be a pure
+    function of ``(node, time)`` — the batched dispatch path evaluates
+    arrival-instant presence at send time, which is only equivalent to
+    an arrival-time query for oracles that answer consistently.  Oracles
+    may optionally provide a vectorized
+    ``is_online_array(nodes, times) -> bool array`` (as
+    :class:`~repro.churn.trace.ChurnTrace` does); the network batches
+    through it when present and falls back to scalar queries otherwise.
     """
 
     def is_online(self, node: NodeKey, time: float) -> bool:  # pragma: no cover
@@ -77,8 +95,8 @@ class NetworkStats:
     def dropped_total(self) -> int:
         return sum(self.dropped.values())
 
-    def record_drop(self, reason: str) -> None:
-        self.dropped[reason] = self.dropped.get(reason, 0) + 1
+    def record_drop(self, reason: str, count: int = 1) -> None:
+        self.dropped[reason] = self.dropped.get(reason, 0) + count
 
     def snapshot(self) -> Dict[str, Any]:
         """A plain-dict copy for reports."""
@@ -107,7 +125,23 @@ class Network:
     check_sender:
         When True (default), a message from a node that is offline at send
         time is dropped immediately — a crashed node cannot transmit.
+    batched:
+        When True (default), :meth:`send_batch` dispatches cohorts with
+        vectorized latency/presence and per-arrival-cohort events; when
+        False it degrades to a loop of scalar :meth:`send` calls — the
+        preserved per-hop path used as the parity/benchmark baseline.
+    batch_threshold:
+        Cohorts smaller than this go through the scalar loop even when
+        ``batched`` — below roughly a dozen messages the fixed cost of
+        the vectorized draws/presence query exceeds the scalar path
+        (measured in ``benchmarks/bench_dispatch.py``).  Both paths are
+        behaviourally identical (same rng consumption, same delivery
+        order), so the threshold is purely a performance knob; parity
+        tests pin it to 1 to force the vector path.
     """
+
+    #: cohort size below which send_batch takes the scalar loop
+    DEFAULT_BATCH_THRESHOLD = 12
 
     def __init__(
         self,
@@ -116,12 +150,18 @@ class Network:
         presence: Optional[PresenceOracle] = None,
         rng: Optional[np.random.Generator] = None,
         check_sender: bool = True,
+        batched: bool = True,
+        batch_threshold: Optional[int] = None,
     ):
         self.sim = sim
         self.latency = latency if latency is not None else UniformLatency()
         self.presence = presence if presence is not None else AlwaysOnline()
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.check_sender = check_sender
+        self.batched = batched
+        self.batch_threshold = (
+            self.DEFAULT_BATCH_THRESHOLD if batch_threshold is None else int(batch_threshold)
+        )
         self.stats = NetworkStats()
         self._handlers: Dict[NodeKey, Handler] = {}
 
@@ -166,9 +206,97 @@ class Network:
         self.sim.schedule(delay, self._deliver, envelope)
         return True
 
+    def send_batch(self, src: NodeKey, dsts: Sequence[NodeKey], payload: Any) -> int:
+        """Send one ``payload`` from ``src`` to every node in ``dsts``.
+
+        The batched equivalent of one :meth:`send` per destination, with
+        identical semantics and accounting totals: the cohort's latencies
+        come from one vectorized :meth:`~repro.sim.latency.LatencyModel.
+        sample_array` draw (consuming the rng stream exactly like
+        per-destination scalar draws, in ``dsts`` order), destination
+        presence at the per-message arrival instants is answered by one
+        batched oracle query, and deliveries are enqueued as **one
+        simulator event per arrival-time cohort** — a
+        :meth:`_deliver_batch` that walks the cohort's envelopes in send
+        order, preserving the handler invocation order the per-message
+        events would have produced.
+
+        Messages whose destination is offline at arrival record their
+        ``DST_OFFLINE`` drop immediately (the per-hop path records it at
+        the arrival instant; totals are identical, only the counter
+        timing differs) and schedule no event at all.  Returns the number
+        of messages put on the wire (0 when the sender is offline — no
+        latency is drawn, matching the scalar path).
+        """
+        n = len(dsts)
+        if n == 0:
+            return 0
+        if not self.batched or n < self.batch_threshold:
+            sent = 0
+            for dst in dsts:
+                sent += bool(self.send(src, dst, payload))
+            return sent
+        now = self.sim.now
+        if self.check_sender and not self.presence.is_online(src, now):
+            self.stats.record_drop(DropReason.SRC_OFFLINE, count=n)
+            return 0
+        self.stats.sent += n
+        arrivals = now + self.latency.sample_array(self.rng, n)
+        online = self._presence_array(dsts, arrivals)
+        live = np.flatnonzero(online)
+        if live.size < n:
+            self.stats.record_drop(DropReason.DST_OFFLINE, count=n - live.size)
+        if not live.size:
+            return n
+        live_times = arrivals[live]
+        # Unique arrival times define the cohorts; walking the live
+        # indices in send order keeps each cohort's envelope list in the
+        # order the per-message events would have fired (equal-time
+        # events tie-break by scheduling order).
+        unique_times, inverse = np.unique(live_times, return_inverse=True)
+        cohorts: List[List[Envelope]] = [[] for _ in range(unique_times.size)]
+        for k, i in zip(inverse.tolist(), live.tolist()):
+            cohorts[k].append(
+                Envelope(
+                    src=src,
+                    dst=dsts[i],
+                    payload=payload,
+                    sent_at=now,
+                    delivered_at=float(arrivals[i]),
+                )
+            )
+        self.sim.schedule_at_many(
+            unique_times.tolist(),
+            self._deliver_batch,
+            [(cohort,) for cohort in cohorts],
+        )
+        return n
+
     def is_online(self, node: NodeKey) -> bool:
         """Convenience: is ``node`` online right now?"""
         return self.presence.is_online(node, self.sim.now)
+
+    def online_array(self, nodes: Sequence[NodeKey]) -> np.ndarray:
+        """Presence of many nodes right now — one batched oracle query."""
+        return self._presence_array(nodes, self.sim.now)
+
+    def _presence_array(self, nodes: Sequence[NodeKey], times) -> np.ndarray:
+        """Boolean presence of ``nodes[k]`` at ``times`` (scalar or
+        parallel array), batched through the oracle when it can."""
+        batch = getattr(self.presence, "is_online_array", None)
+        if batch is not None:
+            try:
+                return np.asarray(batch(nodes, times), dtype=bool)
+            except KeyError:
+                # A node the oracle doesn't know: the scalar protocol
+                # answers False for unknowns, so fall through to it.
+                pass
+        times_arr = np.broadcast_to(np.asarray(times, dtype=float), (len(nodes),))
+        return np.fromiter(
+            (self.presence.is_online(node, float(t)) for node, t in zip(nodes, times_arr)),
+            dtype=bool,
+            count=len(nodes),
+        )
 
     # ------------------------------------------------------------------
     # Delivery
@@ -183,6 +311,24 @@ class Network:
             return
         self.stats.delivered += 1
         handler(envelope)
+
+    def _deliver_batch(self, envelopes: List[Envelope]) -> None:
+        """Deliver one arrival-time cohort.
+
+        Presence was already checked (for the arrival instant) at send
+        time; handlers are still resolved here, at fire time, so a node
+        detached mid-flight drops its messages exactly as the per-hop
+        path would.
+        """
+        handlers = self._handlers
+        stats = self.stats
+        for envelope in envelopes:
+            handler = handlers.get(envelope.dst)
+            if handler is None:
+                stats.record_drop(DropReason.NO_HANDLER)
+                continue
+            stats.delivered += 1
+            handler(envelope)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -101,6 +101,10 @@ class SimulationSettings:
     monitor_quantization: float = 0.0
     #: should operation recipients verify senders (Section 4.1 checks)?
     verify_inbound: bool = False
+    #: "batch" routes fan-out cohorts through Network.send_batch and
+    #: batched eligibility snapshots; "per-hop" preserves the seed's
+    #: one-event-per-message path (the parity/benchmark baseline)
+    dispatch: str = "batch"
     #: diurnal churn parameters forwarded to the trace generator
     diurnal_amplitude: float = 0.3
     diurnal_fraction: float = 0.4
@@ -125,6 +129,10 @@ class SimulationSettings:
         if self.protocols not in ("full", "refresh-only", "off"):
             raise ValueError(
                 f"protocols must be 'full', 'refresh-only' or 'off', got {self.protocols!r}"
+            )
+        if self.dispatch not in ("batch", "per-hop"):
+            raise ValueError(
+                f"dispatch must be 'batch' or 'per-hop', got {self.dispatch!r}"
             )
 
     @property
@@ -192,6 +200,7 @@ class AvmemSimulation:
             latency=PAPER_HOP_LATENCY,
             presence=self.trace,
             rng=self._router.get("latency"),
+            batched=s.dispatch == "batch",
         )
         self.oracle = OracleAvailability(
             self.trace,
@@ -245,6 +254,9 @@ class AvmemSimulation:
             truth_availability=self.true_availability,
             rng=self._router.get("ops"),
             verify_inbound=s.verify_inbound,
+            truth_eligible=(
+                self.truth_eligible_ids if s.dispatch == "batch" else None
+            ),
         )
 
     def _make_predicate(self, lifetime: Sequence[float]) -> AvmemPredicate:
@@ -265,6 +277,30 @@ class AvmemSimulation:
     def true_availability(self, node: NodeId) -> float:
         """Exact raw availability of ``node`` as of the current sim time."""
         return self.trace.availability(node, self.sim.now)
+
+    def _online_truth_filter(self, keep_fn) -> List[NodeId]:
+        """Online nodes whose *true* availability passes ``keep_fn``
+        (an availability-array → bool-mask callable), in trace order.
+
+        The shared row-space snapshot under multicast eligibility and
+        initiator-candidate queries: one timeline presence pass, one
+        availability pass, one mask — no per-node key translation,
+        because the population *is* the timeline.
+        """
+        now = self.sim.now
+        timeline = self.trace.timeline
+        rows = np.flatnonzero(timeline.online_mask(now))
+        if not rows.size:
+            return []
+        keep = keep_fn(timeline.availability_array(rows, now))
+        order = self.trace.nodes
+        return [order[i] for i in rows[keep]]
+
+    def truth_eligible_ids(self, target: TargetSpec) -> set:
+        """Online nodes whose *true* availability is in ``target`` right
+        now — the engine's multicast-eligibility snapshot (Fig 12/13
+        denominator)."""
+        return set(self._online_truth_filter(target.contains_array))
 
     def online_ids(self) -> List[NodeId]:
         return self.trace.online_nodes(self.sim.now)
@@ -392,17 +428,22 @@ class AvmemSimulation:
             return TargetSpec.range(*target)
         return TargetSpec.threshold(float(target))
 
+    def band_initiator_candidates(self, band: str) -> List[NodeId]:
+        """Online nodes whose true availability lies in ``band`` right
+        now, in trace order — the list the scalar loop over
+        :meth:`online_ids` produced, from one vectorized row-space
+        pass."""
+        InitiatorBand.validate(band)
+        return self._online_truth_filter(
+            lambda avs: InitiatorBand.contains_array(band, avs)
+        )
+
     def pick_initiator(
         self, band: str, rng: Optional[np.random.Generator] = None
     ) -> Optional[NodeId]:
         """A random online node whose true availability is in the band."""
-        InitiatorBand.validate(band)
         rng = rng if rng is not None else self._router.get("initiators")
-        candidates = [
-            node
-            for node in self.online_ids()
-            if InitiatorBand.contains(band, self.true_availability(node))
-        ]
+        candidates = self.band_initiator_candidates(band)
         if not candidates:
             return None
         return candidates[int(rng.integers(len(candidates)))]

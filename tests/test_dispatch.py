@@ -1,0 +1,364 @@
+"""Tests for the batched network-dispatch layer.
+
+The load-bearing property is **batched-vs-per-hop equivalence**: the
+cohort path (vectorized latency draws, one batched arrival-instant
+presence query, one simulator event per arrival-time cohort) must be
+behaviourally indistinguishable from the preserved one-event-per-message
+path — same rng stream consumption, same delivery times and handler
+order, same accounting totals, and (end to end) identical operation
+records on identically-seeded simulations across forwarding policies and
+multicast modes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.churn.trace import ChurnTrace, NodeSchedule
+from repro.core.ids import make_node_ids
+from repro.ops.plan import OperationItem, OperationPlan, OperationTiming
+from repro.ops.spec import TargetSpec
+from repro.sim.engine import Simulator
+from repro.sim.latency import ConstantLatency, LogNormalLatency, UniformLatency
+from repro.sim.network import DropReason, Network
+from repro.simulation import AvmemSimulation, SimulationSettings
+
+
+# ----------------------------------------------------------------------
+# Latency models: vectorized draws == sequential scalar draws
+# ----------------------------------------------------------------------
+class TestSampleArray:
+    MODELS = (
+        ConstantLatency(0.05),
+        UniformLatency(0.020, 0.080),
+        LogNormalLatency(median=0.045, sigma=0.5),
+    )
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 64))
+    @settings(max_examples=25, deadline=None)
+    def test_batch_matches_scalar_stream(self, model, seed, n):
+        """n batched draws consume the rng exactly like n scalar draws."""
+        batch = model.sample_array(np.random.default_rng(seed), n)
+        scalar_rng = np.random.default_rng(seed)
+        scalars = [model.sample(scalar_rng) for _ in range(n)]
+        np.testing.assert_array_equal(batch, np.array(scalars))
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: type(m).__name__)
+    def test_stream_position_after_batch(self, model):
+        """After a batch draw, the stream continues where scalar draws
+        would have left it — cohorts of different sizes interleave with
+        singleton sends without perturbing later draws."""
+        a, b = np.random.default_rng(7), np.random.default_rng(7)
+        model.sample_array(a, 5)
+        for _ in range(5):
+            model.sample(b)
+        assert model.sample(a) == model.sample(b)
+
+    def test_constant_consumes_no_randomness(self):
+        rng = np.random.default_rng(3)
+        state = rng.bit_generator.state
+        ConstantLatency(0.1).sample_array(rng, 16)
+        assert rng.bit_generator.state == state
+
+    def test_positive_and_sized(self):
+        rng = np.random.default_rng(0)
+        for model in self.MODELS:
+            draws = model.sample_array(rng, 32)
+            assert draws.shape == (32,)
+            assert (draws > 0).all()
+
+
+# ----------------------------------------------------------------------
+# send_batch semantics
+# ----------------------------------------------------------------------
+class ScriptedPresence:
+    """Presence oracle driven by explicit (node -> [(start, end)]) windows."""
+
+    def __init__(self, windows):
+        self.windows = windows
+
+    def is_online(self, node, time):
+        return any(start <= time < end for start, end in self.windows.get(node, []))
+
+
+def recording_network(sim, latency, presence=None, batched=True, nodes=("a", "b", "c", "d"),
+                      batch_threshold=1):
+    # batch_threshold=1 forces even tiny cohorts through the vector path
+    # (the production default routes sub-dozen cohorts through the
+    # scalar loop purely for speed).
+    net = Network(sim, latency=latency, presence=presence, batched=batched,
+                  batch_threshold=batch_threshold, rng=np.random.default_rng(42))
+    inbox = []
+    for node in nodes:
+        net.attach(node, lambda env: inbox.append((env.dst, env.delivered_at)))
+    return net, inbox
+
+
+class TestSendBatch:
+    def test_one_event_per_arrival_cohort(self, sim):
+        """Equal latencies collapse the whole cohort into one event."""
+        net, inbox = recording_network(sim, ConstantLatency(0.05))
+        assert net.send_batch("a", ["b", "c", "d"], "x") == 3
+        before = sim.events_processed
+        sim.run()
+        assert sim.events_processed - before == 1  # one cohort event
+        assert inbox == [("b", 0.05), ("c", 0.05), ("d", 0.05)]
+
+    def test_distinct_latencies_deliver_at_own_instants(self, sim):
+        net, inbox = recording_network(sim, UniformLatency(0.02, 0.08))
+        net.send_batch("a", ["b", "c", "d"], "x")
+        sim.run()
+        assert len(inbox) == 3
+        times = [t for _, t in inbox]
+        assert times == sorted(times)  # events fire in arrival order
+        assert len(set(times)) == 3
+
+    def test_offline_sender_draws_nothing(self, sim):
+        presence = ScriptedPresence({"b": [(0, 100)], "c": [(0, 100)]})
+        net, inbox = recording_network(sim, UniformLatency(), presence=presence)
+        state = net.rng.bit_generator.state
+        assert net.send_batch("a", ["b", "c"], "x") == 0
+        assert net.rng.bit_generator.state == state  # rng untouched
+        assert net.stats.sent == 0
+        assert net.stats.dropped[DropReason.SRC_OFFLINE] == 2
+        sim.run()
+        assert inbox == []
+
+    def test_offline_destination_dropped_without_event(self, sim):
+        presence = ScriptedPresence({"a": [(0, 100)], "b": [(0, 100)], "c": []})
+        net, inbox = recording_network(sim, ConstantLatency(0.05), presence=presence)
+        assert net.send_batch("a", ["b", "c"], "x") == 2
+        assert net.stats.dropped[DropReason.DST_OFFLINE] == 1
+        sim.run()
+        assert inbox == [("b", 0.05)]
+
+    def test_destination_going_offline_mid_flight(self, sim):
+        """Presence is evaluated at the arrival instant, not send time."""
+        presence = ScriptedPresence({"a": [(0, 100)], "b": [(0.0, 0.02)]})
+        net, inbox = recording_network(sim, ConstantLatency(0.05), presence=presence)
+        net.send_batch("a", ["b"], "x")  # b online now, offline at 0.05
+        sim.run()
+        assert inbox == []
+        assert net.stats.dropped[DropReason.DST_OFFLINE] == 1
+
+    def test_detached_mid_flight_drops_at_delivery(self, sim):
+        net, inbox = recording_network(sim, ConstantLatency(0.05))
+        net.send_batch("a", ["b"], "x")
+        net.detach("b")
+        sim.run()
+        assert inbox == []
+        assert net.stats.dropped[DropReason.NO_HANDLER] == 1
+
+    def test_empty_batch_is_noop(self, sim):
+        net, _ = recording_network(sim, UniformLatency())
+        assert net.send_batch("a", [], "x") == 0
+        assert net.stats.sent == 0
+
+    @pytest.mark.parametrize("batch_threshold", [1, Network.DEFAULT_BATCH_THRESHOLD])
+    def test_cohort_vs_singleton_stats_parity(self, batch_threshold):
+        """Identically-seeded batched and per-hop networks produce the
+        same accounting totals, delivery order, and delivery times —
+        whether cohorts take the vector path (threshold 1) or mix vector
+        and scalar dispatch (the default threshold)."""
+        windows = {
+            "a": [(0, 100)], "b": [(0, 100)],
+            "c": [(0.0, 0.03)],  # will be offline at most arrivals
+            "d": [(0, 100)],
+        }
+        runs = []
+        for batched in (True, False):
+            sim = Simulator()
+            net, inbox = recording_network(
+                sim, UniformLatency(0.02, 0.08),
+                presence=ScriptedPresence(windows), batched=batched,
+                batch_threshold=batch_threshold,
+            )
+            for size in (3, 1, 2, 3, 3, 1, 3, 2, 3, 3):  # straddles any threshold
+                net.send_batch("a", ["b", "c", "d"][:size], "payload")
+            net.send("a", "b", "single")  # singleton sends interleave fine
+            sim.run()
+            runs.append((net.stats.snapshot(), inbox))
+        assert runs[0][0] == runs[1][0]
+        assert runs[0][1] == runs[1][1]
+
+
+# ----------------------------------------------------------------------
+# ChurnTrace batched presence
+# ----------------------------------------------------------------------
+intervals_strategy = st.lists(
+    st.tuples(st.floats(0.0, 900.0), st.floats(0.0, 100.0)).map(
+        lambda p: (p[0], p[0] + p[1])
+    ),
+    max_size=5,
+)
+
+
+class TestTraceBatchPresence:
+    @given(
+        interval_lists=st.lists(intervals_strategy, min_size=1, max_size=8),
+        times=st.lists(st.floats(0.0, 1000.0), min_size=1, max_size=16),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scalar_presence(self, interval_lists, times, data):
+        ids = make_node_ids(len(interval_lists))
+        trace = ChurnTrace(
+            {node: NodeSchedule(iv) for node, iv in zip(ids, interval_lists)},
+            horizon=1001.0,
+        )
+        nodes = [
+            ids[data.draw(st.integers(0, len(ids) - 1))] for _ in times
+        ]
+        batch = trace.is_online_array(nodes, np.array(times))
+        scalar = [trace.is_online(node, t) for node, t in zip(nodes, times)]
+        assert batch.tolist() == scalar
+
+    def test_scalar_time_broadcasts(self):
+        ids = make_node_ids(3)
+        trace = ChurnTrace(
+            {ids[0]: NodeSchedule([(0, 10)]), ids[1]: NodeSchedule([]),
+             ids[2]: NodeSchedule([(5, 20)])},
+            horizon=30.0,
+        )
+        got = trace.is_online_array(ids, 7.0)
+        assert got.tolist() == [True, False, True]
+
+    def test_unknown_node_raises(self):
+        ids = make_node_ids(2)
+        trace = ChurnTrace({ids[0]: NodeSchedule([(0, 10)])}, horizon=30.0)
+        with pytest.raises(KeyError):
+            trace.is_online_array([ids[1]], 1.0)
+
+    def test_network_falls_back_for_unknown_nodes(self):
+        """The network's batched presence helper degrades to the scalar
+        protocol (False for unknowns) instead of propagating KeyError."""
+        ids = make_node_ids(2)
+        trace = ChurnTrace({ids[0]: NodeSchedule([(0, 10)])}, horizon=30.0)
+        net = Network(Simulator(), presence=trace)
+        got = net.online_array([ids[0], ids[1]])
+        assert got.tolist() == [True, False]
+
+
+# ----------------------------------------------------------------------
+# End-to-end record parity: batched dispatch vs the per-hop path
+# ----------------------------------------------------------------------
+def build_sim(seed: int, dispatch: str) -> AvmemSimulation:
+    simulation = AvmemSimulation(
+        SimulationSettings(
+            hosts=70, epochs=24, seed=seed, dispatch=dispatch,
+            protocols="refresh-only",
+        )
+    )
+    # Force every cohort through the vector path: at 70 hosts the fan-out
+    # cohorts are small and the production threshold would route them to
+    # the scalar loop, sidestepping the code under test.
+    simulation.network.batch_threshold = 1
+    simulation.setup(warmup=7200.0, settle=600.0)
+    return simulation
+
+
+def parity_plan(policy: str, mode: str) -> OperationPlan:
+    # Launches are aimed just before the trace's 1200 s epoch boundaries
+    # (setup ends on one), so in-flight messages, ack timeouts, and
+    # gossip rounds straddle churn events — the drop/retry paths are
+    # part of what must stay identical across dispatch modes.
+    anycasts = OperationItem(
+        kind="anycast", target=TargetSpec.range(0.5, 0.9), count=8,
+        policy=policy,
+        timing=OperationTiming(mode="interval", spacing=299.95, phase=1199.8),
+    )
+    multicasts = OperationItem(
+        kind="multicast", target=TargetSpec.range(0.4, 0.8), count=3,
+        band="high", mode=mode, policy=policy,
+        timing=OperationTiming(mode="interval", spacing=1200.0, phase=1199.9),
+    )
+    return OperationPlan(items=(anycasts, multicasts), settle=40.0)
+
+
+def anycast_fields(record):
+    return (
+        record.op_id, record.initiator, record.status, record.hops,
+        record.latency, record.data_messages, record.ack_messages,
+        record.retries_used, record.started_at, record.delivered_at,
+        record.delivery_node,
+    )
+
+
+def multicast_fields(record):
+    return (
+        record.op_id, record.initiator, record.mode,
+        sorted(n.endpoint for n in record.eligible),
+        sorted((n.endpoint, t) for n, t in record.deliveries.items()),
+        sorted((n.endpoint, t) for n, t in record.spam),
+        record.data_messages, record.duplicate_receptions,
+        anycast_fields(record.anycast),
+    )
+
+
+def record_fields(record):
+    if record is None:
+        return None
+    if hasattr(record, "deliveries"):
+        return multicast_fields(record)
+    return anycast_fields(record)
+
+
+class TestDispatchRecordParity:
+    @given(
+        seed=st.integers(0, 2**16),
+        policy=st.sampled_from(["greedy", "retry-greedy", "anneal"]),
+        mode=st.sampled_from(["flood", "gossip"]),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_batched_matches_per_hop(self, seed, policy, mode):
+        """A seeded plan executed through batched dispatch is
+        record-identical (status, hops, transmissions, latencies,
+        multicast tallies) to the preserved per-hop path."""
+        batched = build_sim(seed, "batch")
+        per_hop = build_sim(seed, "per-hop")
+        plan = parity_plan(policy, mode)
+        got = batched.ops.execute(plan)
+        want = per_hop.ops.execute(plan)
+        assert len(got.records) == len(want.records)
+        for new, old in zip(got.records, want.records):
+            assert record_fields(new) == record_fields(old)
+        # The network-level accounting totals agree too.
+        assert batched.network.stats.snapshot() == per_hop.network.stats.snapshot()
+
+    def test_eligible_nodes_scalar_batch_parity(self):
+        """The vectorized eligibility snapshot equals the scalar loop's
+        set at several instants and targets."""
+        simulation = build_sim(5, "batch")
+        engine = simulation.engine
+        assert engine.truth_eligible is not None
+        for target in (
+            TargetSpec.range(0.2, 0.5),
+            TargetSpec.range(0.6, 0.95),
+            TargetSpec.threshold(0.5),
+        ):
+            batch = engine._eligible_nodes(target)
+            snapshot_fn = engine.truth_eligible
+            engine.truth_eligible = None
+            try:
+                scalar = engine._eligible_nodes(target)
+            finally:
+                engine.truth_eligible = snapshot_fn
+            assert batch == scalar
+
+    def test_band_candidates_match_scalar_shape(self):
+        """The row-space band candidate list equals the scalar filter
+        over online_ids, in the same order."""
+        simulation = build_sim(6, "batch")
+        for band in ("low", "mid", "high"):
+            from repro.ops.spec import InitiatorBand
+
+            want = [
+                node
+                for node in simulation.online_ids()
+                if InitiatorBand.contains(band, simulation.true_availability(node))
+            ]
+            assert simulation.band_initiator_candidates(band) == want

@@ -24,15 +24,20 @@ from repro.sim.latency import ConstantLatency
 from repro.sim.network import Network
 
 
-def build_system(availabilities, offline=(), rng=None, config=None):
+def build_system(availabilities, offline=(), rng=None, config=None, windows=None,
+                 latency=None):
     """A deterministic system: node i has the given fixed availability;
-    nodes in ``offline`` are never online."""
+    nodes in ``offline`` are never online.  ``windows`` optionally gives
+    node i an explicit online-interval list (overriding ``offline``);
+    ``latency`` overrides the default 50 ms constant latency."""
     rng = rng if rng is not None else np.random.default_rng(7)
     ids = make_node_ids(len(availabilities))
     horizon = 1e6
     schedules = {}
     for i, node in enumerate(ids):
-        if i in offline:
+        if windows is not None and i in windows:
+            schedules[node] = NodeSchedule(windows[i])
+        elif i in offline:
             schedules[node] = NodeSchedule([])
         else:
             # Continuously online; availability conveyed via the PDF and
@@ -40,7 +45,8 @@ def build_system(availabilities, offline=(), rng=None, config=None):
             schedules[node] = NodeSchedule([(0.0, horizon)])
     trace = ChurnTrace(schedules, horizon=horizon)
     sim = Simulator()
-    network = Network(sim, latency=ConstantLatency(0.05), presence=trace, rng=rng)
+    latency = latency if latency is not None else ConstantLatency(0.05)
+    network = Network(sim, latency=latency, presence=trace, rng=rng)
     pdf = AvailabilityPdf.from_samples(availabilities, online_weighted=False)
     # A complete overlay (f = 1 everywhere): these tests exercise engine
     # mechanics, and full neighbor knowledge makes outcomes deterministic.
@@ -328,6 +334,130 @@ class TestRetryAccounting:
         # Both candidates were tried: initial transmission + one retry.
         assert network.stats.sent - sent_before == 2
         assert record.retries_used == 1
+
+
+class TestDeliveryStatusRace:
+    """Regression tests for the retried-greedy status race: a stale
+    in-flight copy that dies first must not suppress a genuine delivery
+    by a duplicate that is still traveling (ack lost or slower than the
+    ack timeout → the holder re-sends while the original lives on)."""
+
+    def test_delivery_overrides_no_neighbor(self, rng):
+        """One candidate, latency (1 s) above the ack timeout (0.5 s):
+        the timeout exhausts the candidate list (NO_NEIGHBOR) while the
+        original copy is still in flight and then delivers."""
+        avs = [0.5, 0.9]
+        sim, network, nodes, engine, ids = build_system(
+            avs, rng=rng, latency=ConstantLatency(1.0)
+        )
+        record = engine.anycast(
+            ids[0], TargetSpec.range(0.85, 0.95), policy="retry-greedy"
+        )
+        sim.run_until(0.75)  # past the ack timeout, before the delivery
+        assert record.status == AnycastStatus.NO_NEIGHBOR  # the premature verdict
+        sim.run_until(5.0)
+        assert record.status == AnycastStatus.DELIVERED
+        assert record.delivery_node == ids[1]
+        assert record.delivered_at == pytest.approx(1.0)
+        assert record.hops == 1
+        assert record.retries_used == 0  # the expiring timeout transmitted nothing
+
+    def test_delivery_overrides_no_neighbor_with_lost_ack(self, rng):
+        """The literal lost-ack shape: the holder goes offline before the
+        ack can arrive (the ack is genuinely dropped), yet the data copy
+        it had already sent delivers."""
+        avs = [0.5, 0.9]
+        sim, network, nodes, engine, ids = build_system(
+            avs, rng=rng, latency=ConstantLatency(1.0),
+            windows={0: [(0.0, 1.5)]},  # holder dies at 1.5; ack would arrive at 2.0
+        )
+        record = engine.anycast(
+            ids[0], TargetSpec.range(0.85, 0.95), policy="retry-greedy"
+        )
+        sim.run_until(5.0)
+        from repro.sim.network import DropReason
+
+        assert network.stats.dropped.get(DropReason.DST_OFFLINE, 0) >= 1  # the ack
+        assert record.status == AnycastStatus.DELIVERED
+        assert record.delivered_at == pytest.approx(1.0)
+
+    def test_delivery_overrides_retry_expired(self, rng):
+        """retry=1 with the fallback candidates offline: the second
+        timeout spends the budget (RETRY_EXPIRED) at t=1.0, then the
+        original slow copy delivers at t=1.2 and must win."""
+        avs = [0.5, 0.9, 0.8, 0.7]
+        sim, network, nodes, engine, ids = build_system(
+            avs, offline={2, 3}, rng=rng, latency=ConstantLatency(1.2)
+        )
+        record = engine.anycast(
+            ids[0], TargetSpec.range(0.85, 0.95), policy="retry-greedy", retry=1
+        )
+        sim.run_until(1.1)
+        assert record.status == AnycastStatus.RETRY_EXPIRED
+        sim.run_until(5.0)
+        assert record.status == AnycastStatus.DELIVERED
+        assert record.retries_used == 1
+
+    def test_first_delivery_still_wins(self, rng):
+        """Two live in-range candidates: the retry duplicate delivering
+        second must not displace the first delivery."""
+        avs = [0.5, 0.9, 0.9]
+        sim, network, nodes, engine, ids = build_system(
+            avs, rng=rng, latency=ConstantLatency(1.2)
+        )
+        record = engine.anycast(
+            ids[0], TargetSpec.range(0.85, 0.95), policy="retry-greedy", retry=3
+        )
+        sim.run_until(5.0)
+        assert record.status == AnycastStatus.DELIVERED
+        # Original sent at t=0 arrives 1.2; the retry copy (sent at the
+        # 0.5 s timeout) arrives 1.7 and is a duplicate.
+        assert record.delivered_at == pytest.approx(1.2)
+
+
+class TestPhantomRetryCharge:
+    """Regression test: a send attempt from an offline holder puts no
+    message on the wire, so it must not arm an ack timeout that later
+    charges a retry for the transmission that never happened."""
+
+    def test_failed_send_skips_timeout_and_charge(self, rng):
+        from repro.ops.anycast import make_policy
+        from repro.ops.engine import _PendingAttempt
+        from repro.ops.messages import AnycastMessage
+        from repro.ops.results import AnycastRecord
+
+        avs = [0.5, 0.9]
+        # The holder is offline during [5.0, 6.4) — the instant the
+        # forwarding step runs — and back online before the would-be
+        # ack timeout (6.5) fires.
+        sim, network, nodes, engine, ids = build_system(
+            avs, rng=rng, windows={0: [(0.0, 5.0), (6.4, 1e6)]}
+        )
+        sim.run_until(6.0)
+        target = TargetSpec.range(0.85, 0.95)
+        record = AnycastRecord(
+            op_id=99, initiator=ids[0], target=target,
+            policy="retry-greedy", selector="hs+vs", started_at=sim.now,
+        )
+        engine.anycasts[99] = record
+        engine._policies[99] = make_policy("retry-greedy")
+        message = AnycastMessage(
+            op_id=99, target=target, ttl=4, retry=2,
+            attempt=engine._new_attempt(), origin=ids[0], sender=ids[0],
+            path=(ids[0],),
+        )
+        state = _PendingAttempt(
+            record=record, holder=ids[0], base_message=message,
+            candidates=[ids[1]], next_index=0, retry_remaining=2,
+        )
+        sent_before = network.stats.sent
+        engine._try_next_candidate(state)
+        assert network.stats.sent == sent_before  # nothing hit the wire
+        sim.run_until(8.0)  # past the would-be timeout; holder back online
+        assert record.retries_used == 0
+        assert record.status == AnycastStatus.PENDING  # message died silently
+        assert network.stats.sent == sent_before
+        assert not any(s.record is record for s in engine._pending.values())
 
 
 class TestGossipResumption:

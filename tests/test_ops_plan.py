@@ -333,6 +333,39 @@ class TestRunner:
         launched = execution.launched
         assert [r.initiator for r in launched] == [simulation.node_ids[3]] * 2
 
+    def test_endpoint_index_rebuilt_per_execution(self):
+        """Regression: the endpoint → node index must be rebuilt each
+        execution.  A once-built cache resolves endpoint-addressed
+        initiators against a stale population after the simulation's
+        node set changes (here: a node leaves between plans)."""
+        simulation = AvmemSimulation(SimulationSettings(hosts=60, epochs=24, seed=3))
+        simulation.setup(warmup=7200.0, settle=600.0)
+        target = TargetSpec.range(0.0, 1.0)
+
+        def endpoint_item(endpoint):
+            return OperationItem(
+                kind="anycast", target=target, initiator=endpoint,
+                timing=OperationTiming(mode="batch"),
+            )
+
+        node = simulation.node_ids[5]
+        execution = simulation.ops.execute(
+            OperationPlan.single(endpoint_item(node.endpoint), settle=5.0)
+        )
+        assert execution.records[0].initiator == node
+        # The node leaves the population; its endpoint must stop resolving.
+        simulation.node_ids.pop(5)
+        with pytest.raises(ValueError, match="unknown initiator endpoint"):
+            simulation.ops.execute(
+                OperationPlan.single(endpoint_item(node.endpoint), settle=5.0)
+            )
+        # And it resolves again once the node is back.
+        simulation.node_ids.insert(5, node)
+        execution = simulation.ops.execute(
+            OperationPlan.single(endpoint_item(node.endpoint), settle=5.0)
+        )
+        assert execution.records[0].initiator == node
+
     def test_unknown_endpoint_rejected(self, sim_pair):
         simulation, _ = sim_pair
         item = OperationItem(
