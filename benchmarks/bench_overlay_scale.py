@@ -13,6 +13,14 @@ descriptor population and reports two families of timings:
 * ``adapter`` — ``OverlayGraph.build(...).to_networkx()``, what the
   compatibility wrapper :func:`build_overlay_graph` now does.
 
+**Candidate-generated construction** — ``OverlayGraph.build_rows`` over a
+struct-of-arrays :class:`~repro.core.population.Population` with the
+affine64 interval-searchable hash, candidate (O(N·k)) vs exhaustive
+(N×N) method, swept to N = 100k by default (candidate-only above the
+exhaustive cutoff; pass ``--candidate-sizes 1000000`` for the 1M build)
+with per-size peak-RSS reporting and exact CSR parity asserted at
+N ≤ 5k.
+
 **Membership tables** — the two hot paths ``bootstrap="direct"`` and the
 refresh sub-protocol exercise, each timed scalar vs batched:
 
@@ -46,14 +54,25 @@ from typing import Dict, List, Sequence
 import networkx as nx
 import numpy as np
 
-from bench_util import emit_bench_json
+from bench_util import emit_bench_json, peak_rss_mb
 from repro.core.availability import AvailabilityPdf
+from repro.core.hashing import Affine64PairHash
 from repro.core.ids import NodeId, make_node_ids
 from repro.core.membership import MemberEntry, MembershipLists
+from repro.core.population import Population
 from repro.core.predicates import AvmemPredicate, NodeDescriptor, SliverKind
 from repro.overlays.graphs import OverlayGraph
 
 DEFAULT_SIZES = (1_000, 5_000, 20_000)
+#: the candidate-generated O(N*k) path scales well past the N x N
+#: sweeps; the top end runs candidate-only (exhaustive would be 10^10
+#: pair evaluations at 100k).  Push further with --candidate-sizes
+#: 1000000 for the memory-bounded 1M-row build.
+DEFAULT_CANDIDATE_SIZES = (1_000, 5_000, 20_000, 100_000)
+#: largest N where the exhaustive baseline still runs (and, at <= 5k,
+#: where the two paths are asserted CSR-identical every invocation)
+EXHAUSTIVE_CUTOFF = 20_000
+PARITY_CUTOFF = 5_000
 
 
 def legacy_build(
@@ -93,6 +112,24 @@ def timed(fn, *args, **kwargs):
     start = time.perf_counter()
     result = fn(*args, **kwargs)
     return result, time.perf_counter() - start
+
+
+def make_row_population(n: int, seed: int = 0):
+    """Struct-of-arrays population + affine64 paper predicate.
+
+    The candidate-generation stage needs an interval-searchable pairwise
+    hash, so this sweep runs the paper predicate over
+    :class:`Affine64PairHash`; the population is synthetic (digests
+    derived from endpoint strings without materializing NodeId objects),
+    which is what keeps the 100k/1M builds object-free.
+    """
+    rng = np.random.default_rng(seed)
+    avs = np.clip(rng.beta(4.0, 1.5, n), 0.01, 0.99)
+    population = Population.synthetic(avs)
+    pdf = AvailabilityPdf.from_samples(avs, online_weighted=False)
+    from repro.core.predicates import paper_predicate
+
+    return population, paper_predicate(pdf, hash_fn=Affine64PairHash())
 
 
 # ----------------------------------------------------------------------
@@ -315,6 +352,52 @@ def run_construction_sweep(args) -> List[Dict[str, object]]:
     return rows
 
 
+def run_candidate_sweep(args) -> List[Dict[str, object]]:
+    """Candidate-generated vs exhaustive row-space construction.
+
+    At N <= PARITY_CUTOFF every invocation asserts the two CSR triples
+    are identical (same arrays, same order); above EXHAUSTIVE_CUTOFF only
+    the O(N*k) candidate path runs.  Peak RSS is reported per size — the
+    metric the memory-bounded large-N milestone tracks.
+    """
+    rows: List[Dict[str, object]] = []
+    print(f"\n{'N':>8} {'exhaustive_s':>13} {'candidates_s':>13} {'speedup':>8} "
+          f"{'edges':>10} {'rss_mb':>8}")
+    for n in args.candidate_sizes:
+        population, predicate = make_row_population(n, seed=args.seed)
+        overlay, cand_s = timed(
+            OverlayGraph.build_rows, population, predicate, method="candidates"
+        )
+        row: Dict[str, object] = {
+            "n": n,
+            "candidates_s": cand_s,
+            "edges": overlay.number_of_edges,
+            "peak_rss_mb": peak_rss_mb(),
+        }
+        if n <= EXHAUSTIVE_CUTOFF:
+            exhaustive, exh_s = timed(
+                OverlayGraph.build_rows, population, predicate, method="exhaustive"
+            )
+            row["exhaustive_s"] = exh_s
+            row["speedup"] = exh_s / cand_s
+            speedup = f"{exh_s / cand_s:7.1f}x"
+            exh_repr = f"{exh_s:13.3f}"
+            if n <= PARITY_CUTOFF:
+                assert (overlay.src_indices == exhaustive.src_indices).all()
+                assert (overlay.dst_indices == exhaustive.dst_indices).all()
+                assert (overlay.horizontal == exhaustive.horizontal).all()
+                row["parity"] = "exact"
+        else:
+            speedup, exh_repr = "      —", "            —"
+        rows.append(row)
+        rss = row["peak_rss_mb"]
+        print(
+            f"{n:>8} {exh_repr} {cand_s:13.3f} {speedup:>8} "
+            f"{overlay.number_of_edges:>10} {rss if rss is None else round(rss):>8}"
+        )
+    return rows
+
+
 def run_membership_sweep(args) -> List[Dict[str, object]]:
     rows: List[Dict[str, object]] = []
     print(f"\n{'N':>8} {'inst_scalar':>12} {'inst_batch':>11} {'inst_x':>7} "
@@ -356,6 +439,12 @@ def main(argv=None) -> None:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--candidate-sizes", type=int, nargs="+",
+        default=list(DEFAULT_CANDIDATE_SIZES),
+        help="population sizes for the candidate-generated construction "
+             "sweep (candidate-only above the exhaustive cutoff; try 1000000)",
+    )
+    parser.add_argument(
         "--skip-legacy-above", type=int, default=50_000,
         help="skip the O(N^2)-with-Python-constants legacy path above this N",
     )
@@ -369,12 +458,14 @@ def main(argv=None) -> None:
     check_parity(*smallest)
     check_install_refresh_parity(*smallest, seed=args.seed)
     construction = run_construction_sweep(args)
+    candidates = run_candidate_sweep(args)
     membership = run_membership_sweep(args)
     emit_bench_json(
         "overlay_scale",
         {
             "seed": args.seed,
             "construction": construction,
+            "candidates": candidates,
             "membership": membership,
         },
         path=args.json_out,

@@ -1,0 +1,159 @@
+"""Large-N memory-bounded smoke: candidate overlay build + memmap
+timeline, with a peak-RSS ceiling assertion.
+
+This is the CI guard for the struct-of-arrays population core: it proves
+that a large population actually runs inside a bounded memory budget,
+not just that the code paths exist.  One invocation:
+
+1. builds a synthetic :class:`~repro.core.population.Population` (SHA-1
+   digests from endpoint strings, no NodeId objects) and the affine64
+   paper predicate;
+2. cross-checks candidate vs exhaustive construction CSR-identical at a
+   small N (every run, before the big build);
+3. runs the candidate-generated O(N·k) overlay build at the target N
+   with the edge columns spilled to ``np.memmap`` storage;
+4. builds a synthetic churn timeline for the same N, spills it via
+   :meth:`~repro.churn.timeline.ChurnTimeline.spill_to`, re-opens it
+   with :meth:`~repro.churn.timeline.ChurnTimeline.open`, and checks a
+   batch availability query against the in-RAM answers;
+5. asserts the process peak RSS stayed under the ceiling.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_scale_smoke.py --quick   # N=100k (CI)
+    PYTHONPATH=src python benchmarks/bench_scale_smoke.py           # N=1M
+
+Results land in ``benchmarks/results/BENCH_scale_smoke.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+import time
+
+import numpy as np
+
+from bench_util import emit_bench_json, peak_rss_mb
+from repro.churn.timeline import ChurnTimeline
+from repro.core.availability import AvailabilityPdf
+from repro.core.hashing import Affine64PairHash
+from repro.core.population import Population
+from repro.core.predicates import paper_predicate
+from repro.overlays.graphs import OverlayGraph
+
+PARITY_N = 3_000
+QUICK_N = 100_000
+FULL_N = 1_000_000
+#: RSS ceilings (MiB).  The quick budget is sized for CI runners; the
+#: full 1M budget bounds the one-time in-RAM edge accumulation before
+#: the columns spill to memmaps.
+QUICK_RSS_CEILING_MB = 1_536.0
+FULL_RSS_CEILING_MB = 8_192.0
+
+
+def make_population(n: int, seed: int):
+    rng = np.random.default_rng(seed)
+    avs = np.clip(rng.beta(4.0, 1.5, n), 0.01, 0.99)
+    population = Population.synthetic(avs)
+    pdf = AvailabilityPdf.from_samples(avs, online_weighted=False)
+    return population, paper_predicate(pdf, hash_fn=Affine64PairHash())
+
+
+def check_small_parity(seed: int) -> int:
+    """Candidate vs exhaustive CSR identity at PARITY_N (every run)."""
+    population, predicate = make_population(PARITY_N, seed)
+    cand = OverlayGraph.build_rows(population, predicate, method="candidates")
+    exh = OverlayGraph.build_rows(population, predicate, method="exhaustive")
+    assert (cand.src_indices == exh.src_indices).all()
+    assert (cand.dst_indices == exh.dst_indices).all()
+    assert (cand.horizontal == exh.horizontal).all()
+    return int(cand.number_of_edges)
+
+
+def synthetic_timeline(n: int, seed: int, horizon: float = 604_800.0) -> ChurnTimeline:
+    """~3 sessions per node, fully vectorized construction."""
+    rng = np.random.default_rng(seed + 1)
+    sessions = 3
+    edges = np.sort(rng.uniform(0.0, horizon, (n, 2 * sessions)), axis=1)
+    node_index = np.repeat(np.arange(n, dtype=np.int64), sessions)
+    starts = edges[:, 0::2].ravel()
+    ends = edges[:, 1::2].ravel()
+    return ChurnTimeline(n, horizon, node_index, starts, ends)
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"CI mode: N={QUICK_N} and the tighter RSS ceiling",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--json-out", default=None,
+        help="result path (default: benchmarks/results/BENCH_scale_smoke.json)",
+    )
+    args = parser.parse_args(argv)
+    n = QUICK_N if args.quick else FULL_N
+    ceiling = QUICK_RSS_CEILING_MB if args.quick else FULL_RSS_CEILING_MB
+
+    parity_edges = check_small_parity(args.seed)
+    print(f"parity OK at N={PARITY_N}: {parity_edges} identical CSR edges")
+
+    with tempfile.TemporaryDirectory() as storage:
+        start = time.perf_counter()
+        population, predicate = make_population(n, args.seed)
+        build_start = time.perf_counter()
+        overlay = OverlayGraph.build_rows(
+            population, predicate, method="candidates", storage=storage
+        )
+        build_s = time.perf_counter() - build_start
+        edges = int(overlay.number_of_edges)
+        assert isinstance(overlay.src_indices, np.memmap), "edge columns not spilled"
+        print(f"candidate build: N={n} edges={edges} in {build_s:.2f}s (memmap-backed)")
+
+        timeline_start = time.perf_counter()
+        timeline = synthetic_timeline(n, args.seed)
+        probe_nodes = np.random.default_rng(args.seed + 2).integers(
+            0, n, 10_000, dtype=np.int64
+        )
+        probe_time = timeline.horizon * 0.75
+        expected = timeline.availability_array(probe_nodes, probe_time)
+        timeline.spill_to(storage)
+        reopened = ChurnTimeline.open(storage)
+        got = reopened.availability_array(probe_nodes, probe_time)
+        assert (got == expected).all(), "memmap timeline query mismatch"
+        timeline_s = time.perf_counter() - timeline_start
+        total_s = time.perf_counter() - start
+        print(
+            f"memmap timeline: {timeline.session_count} sessions, "
+            f"10k-node availability query verified in {timeline_s:.2f}s"
+        )
+
+    rss = peak_rss_mb()
+    if rss is not None:
+        assert rss <= ceiling, (
+            f"peak RSS {rss:.0f} MiB exceeded the {ceiling:.0f} MiB ceiling"
+        )
+        print(f"peak RSS {rss:.0f} MiB (ceiling {ceiling:.0f} MiB)")
+
+    emit_bench_json(
+        "scale_smoke",
+        {
+            "seed": args.seed,
+            "quick": bool(args.quick),
+            "n": n,
+            "edges": edges,
+            "build_s": build_s,
+            "timeline_s": timeline_s,
+            "total_s": total_s,
+            "rss_ceiling_mb": ceiling,
+            "parity_n": PARITY_N,
+            "parity_edges": parity_edges,
+        },
+        path=args.json_out,
+    )
+
+
+if __name__ == "__main__":
+    main()

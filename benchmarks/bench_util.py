@@ -18,15 +18,36 @@ from typing import Optional
 
 import numpy as np
 
-__all__ = ["emit_bench_json", "RESULTS_DIR"]
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platform
+    resource = None
+
+__all__ = ["emit_bench_json", "peak_rss_mb", "RESULTS_DIR"]
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def peak_rss_mb() -> Optional[float]:
+    """Peak resident set size of this process so far, in MiB.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; returns None
+    where the ``resource`` module is unavailable (non-POSIX).  This is a
+    high-water mark — per-phase deltas need a subprocess per phase.
+    """
+    if resource is None:
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
 
 
 def emit_bench_json(name: str, payload: dict, path: Optional[str] = None) -> Path:
     """Write one benchmark's results as ``BENCH_<name>.json``.
 
-    ``payload`` must be json-serializable; environment metadata is added
+    ``payload`` must be json-serializable; environment metadata — and the
+    process's peak RSS in MiB, the memory-boundedness metric — is added
     under ``"environment"``.  Returns the path written.
     """
     target = Path(path) if path is not None else RESULTS_DIR / f"BENCH_{name}.json"
@@ -37,6 +58,7 @@ def emit_bench_json(name: str, payload: dict, path: Optional[str] = None) -> Pat
             "python": sys.version.split()[0],
             "numpy": np.__version__,
             "platform": platform.platform(),
+            "peak_rss_mb": peak_rss_mb(),
         },
         **payload,
     }

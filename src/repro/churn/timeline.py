@@ -33,11 +33,28 @@ bounded well below any protocol-visible granularity).
 
 from __future__ import annotations
 
+import json
+import os
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.util.memmaps import open_array, spill
+
 __all__ = ["ChurnTimeline"]
+
+# Arrays persisted by spill_to()/open(): the session-proportional CSR
+# columns plus the derived query-acceleration tables, so open() needs no
+# normalization or index-building pass over the data.
+_SPILL_ARRAYS = (
+    ("node_index", "node_index"),
+    ("starts", "starts"),
+    ("ends", "ends"),
+    ("offsets", "offsets"),
+    ("_cum_before", "cum_before"),
+    ("_starts_padded", "starts_padded"),
+    ("_grid_rank", "grid_rank"),
+)
 
 
 def _merge_node_intervals(
@@ -238,6 +255,57 @@ class ChurnTimeline:
             start_epoch[start_order] * epoch_seconds,
             end_epoch[end_order] * epoch_seconds,
         )
+
+    # ------------------------------------------------------------------
+    # Memmap persistence
+    # ------------------------------------------------------------------
+    def spill_to(self, directory: str) -> "ChurnTimeline":
+        """Re-back the session arrays (and derived query tables) with
+        ``np.memmap`` files under ``directory``, in place.
+
+        After spilling, the OS pages the columns in and out on demand, so
+        a memmapped timeline's resident footprint is bounded by its query
+        working set rather than by ``session_count``.  Returns ``self``
+        for chaining; :meth:`open` maps the directory back without
+        re-running construction-time normalization.
+        """
+        for attr, name in _SPILL_ARRAYS:
+            setattr(self, attr, spill(getattr(self, attr), directory, name))
+        with open(os.path.join(directory, "meta.json"), "w") as fh:
+            json.dump(
+                {
+                    "format": "churn-timeline-v1",
+                    "n_nodes": self.n_nodes,
+                    "horizon": self.horizon,
+                    "grid_cells": self._grid_cells,
+                },
+                fh,
+            )
+        return self
+
+    @classmethod
+    def open(cls, directory: str) -> "ChurnTimeline":
+        """Map a :meth:`spill_to` directory back as a read-only timeline.
+
+        No normalization, merging, or index construction happens — the
+        persisted derived tables are trusted, which is what makes opening
+        a multi-gigabyte timeline O(1) in memory and time.
+        """
+        with open(os.path.join(directory, "meta.json")) as fh:
+            meta = json.load(fh)
+        if meta.get("format") != "churn-timeline-v1":
+            raise ValueError(f"not a spilled timeline directory: {directory}")
+        self = object.__new__(cls)
+        self.n_nodes = int(meta["n_nodes"])
+        self.horizon = float(meta["horizon"])
+        self._grid_cells = int(meta["grid_cells"])
+        # Same expression as __init__ so query arithmetic is bit-equal.
+        self._inv_cell = 1.0 / (self.horizon / self._grid_cells)
+        for attr, name in _SPILL_ARRAYS:
+            setattr(self, attr, open_array(directory, name))
+        self._starts_sorted = None
+        self._ends_sorted = None
+        return self
 
     # ------------------------------------------------------------------
     # Introspection

@@ -151,6 +151,48 @@ class NodeSchedule:
         return f"NodeSchedule(sessions={self.session_count})"
 
 
+class _LazyTimelineSchedules:
+    """Mapping of node key → :class:`NodeSchedule`, materialized on
+    access from a :class:`~repro.churn.timeline.ChurnTimeline` row.
+
+    :meth:`ChurnTrace.from_timeline` hands traces this instead of an
+    eager dict so a million-node timeline costs zero schedule objects
+    until some scalar query actually touches a node — batch queries all
+    answer straight from the timeline and never materialize any.
+    """
+
+    __slots__ = ("timeline", "order", "index", "_cache")
+
+    def __init__(self, timeline: ChurnTimeline, order: Tuple[NodeKey, ...]):
+        self.timeline = timeline
+        self.order = order
+        self.index: Dict[NodeKey, int] = {key: i for i, key in enumerate(order)}
+        self._cache: Dict[NodeKey, NodeSchedule] = {}
+
+    def __getitem__(self, key: NodeKey) -> NodeSchedule:
+        schedule = self._cache.get(key)
+        if schedule is None:
+            row = self.index[key]  # KeyError propagates for unknowns
+            schedule = NodeSchedule.from_arrays(*self.timeline.sessions_of(row))
+            self._cache[key] = schedule
+        return schedule
+
+    def get(self, key: NodeKey, default=None):
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def __contains__(self, key: NodeKey) -> bool:
+        return key in self.index
+
+    def __iter__(self):
+        return iter(self.order)
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+
 class ChurnTrace:
     """Schedules for a population of nodes; acts as a presence oracle."""
 
@@ -162,12 +204,15 @@ class ChurnTrace:
     ):
         if horizon <= 0:
             raise ValueError(f"horizon must be positive, got {horizon}")
-        self._schedules = dict(schedules)
         self.horizon = float(horizon)
-        self._order: Tuple[NodeKey, ...] = tuple(self._schedules)
-        self._index: Dict[NodeKey, int] = {
-            key: i for i, key in enumerate(self._order)
-        }
+        if isinstance(schedules, _LazyTimelineSchedules):
+            self._schedules = schedules
+            self._order: Tuple[NodeKey, ...] = schedules.order
+            self._index: Dict[NodeKey, int] = schedules.index
+        else:
+            self._schedules = dict(schedules)
+            self._order = tuple(self._schedules)
+            self._index = {key: i for i, key in enumerate(self._order)}
         self._timeline = timeline
         # Lazily built digest64 translation table (see node_indices).
         self._digest_ok: Optional[bool] = None
@@ -214,10 +259,10 @@ class ChurnTrace:
             )
         if len(set(node_keys)) != len(node_keys):
             raise ValueError("node keys must be unique")
-        schedules: Dict[NodeKey, NodeSchedule] = {}
-        for i, key in enumerate(node_keys):
-            schedules[key] = NodeSchedule.from_arrays(*timeline.sessions_of(i))
-        return cls(schedules, horizon=timeline.horizon, timeline=timeline)
+        # Schedules materialize lazily per node; batch queries answer from
+        # the timeline directly, so most rows never grow a NodeSchedule.
+        lazy = _LazyTimelineSchedules(timeline, tuple(node_keys))
+        return cls(lazy, horizon=timeline.horizon, timeline=timeline)
 
     def to_matrix(self, epoch_seconds: float) -> Tuple[np.ndarray, Tuple[NodeKey, ...]]:
         """Sample presence at epoch midpoints back into a boolean matrix."""

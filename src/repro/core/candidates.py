@@ -1,0 +1,310 @@
+"""Candidate-generated overlay construction — exact O(N·k) enumeration.
+
+The block-tiled ``AvmemPredicate.evaluate_all`` sweep evaluates every
+ordered pair: O(N²) hash values and threshold comparisons, which tops
+out around N = 20k.  This module replaces the sweep with a two-stage
+*candidate generation + exact filter* pipeline, in the spirit of
+locality-restricted overlay construction (MPO), while keeping the
+result **bit-identical** to the exhaustive path:
+
+1. **Index** (once per population): nodes are partitioned into
+   availability buckets aligned to the PDF's bins, and within each
+   bucket sorted by their destination hash key.  With the
+   shift-structured :class:`~repro.core.hashing.Affine64PairHash`,
+   ``H(x, y) <= t`` holds iff the destination key lies in one wrapped
+   uint64 interval determined by the source — so a sorted-key bucket
+   answers "which members pass?" with two binary searches.
+
+2. **Enumerate + filter** (per source block × bucket): an upper bound
+   ``T(x, b)`` of the true threshold over the bucket (horizontal bound
+   if the bucket sits fully inside the ±ε band, vertical bound if fully
+   outside, the max when straddling) is inflated by a float-safety
+   margin and turned into a key interval; ``searchsorted`` yields the
+   candidate positions.  Every candidate is then re-checked with the
+   *same* float comparisons the exhaustive path performs (same
+   per-pair threshold expressions, same ``|Δav| < ε`` classification,
+   same cushion clamp), so over-approximation in the bound can only
+   cost time, never change the edge set.
+
+Why the bound is sound: bucket bounds are computed from the *actual*
+member values (bucket max of exact per-destination thresholds, exact
+member min/max availabilities), never from bin-edge arithmetic, so no
+float-rounding at bucket boundaries can exclude a passing pair; the
+integer interval adds a ``(1 + 2^-40)·T·2^64 + 4096`` margin that
+dominates both the product rounding and the uint64→float64 rounding of
+the final comparison.
+
+Expected work per source is O(buckets·log m + k'), where k' is the
+number of candidates (≈ the true degree k plus bound slack), against
+O(N) for the sweep.
+
+This is only possible for hashes with interval structure
+(``supports_interval``) and sliver rules that declare a bucket bound
+(:attr:`~repro.core.slivers._Rule.CANDIDATE_BOUND`); PRF-style hashes
+(mix64, digest hashes) make every ordered pair an independent
+unpredictable bit, so *no* exact sub-quadratic enumeration exists for
+them and callers must fall back to the exhaustive sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.slivers import has_candidate_bound
+
+__all__ = ["supports_candidates", "evaluate_all_candidates", "CandidateIndex"]
+
+_U64_SCALE = float(1 << 64)
+#: relative + absolute inflation of the enumeration interval; dominates
+#: every float rounding in the bound computation and the uint64→float64
+#: rounding (ulp 2^11 near 2^64) of the exact filter's hash values.
+_REL_SLACK = 1.0 + 2.0**-40
+_ABS_SLACK = 4096.0
+#: scaled thresholds at or above this enumerate the whole bucket (the
+#: value is exactly representable and safely below 2^64).
+_FULL_CUTOFF = _U64_SCALE - 2.0**13
+
+
+def supports_candidates(predicate) -> bool:
+    """Whether ``predicate`` admits exact candidate generation: an
+    interval-structured hash plus bucket-boundable sliver rules."""
+    return (
+        getattr(predicate.hash_fn, "supports_interval", False)
+        and has_candidate_bound(predicate.horizontal)
+        and has_candidate_bound(predicate.vertical)
+    )
+
+
+def _expand_ranges(
+    starts: np.ndarray, stops: np.ndarray, owners: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten per-owner index ranges ``[starts, stops)`` into a flat
+    position array plus the owner of each position."""
+    lengths = stops - starts
+    keep = lengths > 0
+    if not keep.any():
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    starts = starts[keep]
+    lengths = lengths[keep]
+    ends = np.cumsum(lengths)
+    out = np.ones(int(ends[-1]), dtype=np.int64)
+    out[0] = starts[0]
+    if starts.size > 1:
+        out[ends[:-1]] = starts[1:] - (starts[:-1] + lengths[:-1] - 1)
+    np.cumsum(out, out=out)
+    return out, np.repeat(owners[keep], lengths)
+
+
+class CandidateIndex:
+    """Availability-bucket / sorted-hash-key inverted index.
+
+    Buckets are a uniform grid refined from the PDF's bins (so each
+    bucket is no wider than ~ε/2 where affordable); per-bucket bound
+    statistics are taken over the actual members, which is what makes
+    the enumeration bound sound without any bin-edge float reasoning.
+    """
+
+    def __init__(self, predicate, digests: np.ndarray, availabilities: np.ndarray):
+        if not supports_candidates(predicate):
+            raise ValueError(
+                f"predicate {predicate!r} does not support candidate generation "
+                "(needs an interval-structured hash, e.g. affine64, and "
+                "bucket-boundable sliver rules)"
+            )
+        self.predicate = predicate
+        self.digests = np.asarray(digests, dtype=np.uint64)
+        self.availabilities = np.asarray(availabilities, dtype=float)
+        pdf = predicate.pdf
+        bins = int(pdf.bins)
+        refine = max(1, int(np.ceil((1.0 / bins) / max(predicate.epsilon / 2.0, 1e-3))))
+        refine = min(refine, max(1, 1024 // bins))
+        self.n_buckets = bins * refine
+        avs = self.availabilities
+        n = avs.shape[0]
+        bucket_of = np.clip(
+            (avs * self.n_buckets).astype(np.int64), 0, self.n_buckets - 1
+        )
+        self.keys = predicate.hash_fn.key_array(self.digests)
+        order = np.lexsort((self.keys, bucket_of))
+        self.rows_sorted = order.astype(np.int64)
+        self.keys_sorted = self.keys[order]
+        counts = np.bincount(bucket_of, minlength=self.n_buckets)
+        self.offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        self.nonempty = np.flatnonzero(counts).astype(np.int64)
+        starts = self.offsets[self.nonempty]
+        avs_sorted = avs[order]
+        if n:
+            self.av_min = np.minimum.reduceat(avs_sorted, starts)
+            self.av_max = np.maximum.reduceat(avs_sorted, starts)
+        else:
+            self.av_min = np.empty(0)
+            self.av_max = np.empty(0)
+        # Vertical bound inputs (see _Rule.CANDIDATE_BOUND).
+        vertical = predicate.vertical
+        self.v_kind = vertical.CANDIDATE_BOUND
+        self.v_const = 0.0
+        self.v_values = None
+        self.v_bucket_max = None
+        if self.v_kind == "const":
+            self.v_const = float(vertical.threshold(0.0, 1.0, pdf))
+        else:
+            self.v_values = vertical.candidate_values(avs, pdf)
+            if n:
+                self.v_bucket_max = np.maximum.reduceat(self.v_values[order], starts)
+            else:
+                self.v_bucket_max = np.empty(0)
+        horizontal = predicate.horizontal
+        self.h_kind = horizontal.CANDIDATE_BOUND
+        self.h_const = 0.0
+        if self.h_kind == "const":
+            self.h_const = float(horizontal.threshold(0.0, 0.0, pdf))
+        elif self.h_kind != "src":
+            raise ValueError(
+                f"horizontal rule {horizontal!r} declares unsupported bound "
+                f"kind {self.h_kind!r} (horizontal rules must be 'const' or 'src')"
+            )
+
+
+def evaluate_all_candidates(
+    predicate,
+    digests: np.ndarray,
+    availabilities: np.ndarray,
+    cushion: float = 0.0,
+    block_rows: int = 2048,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Exact ``evaluate_all`` via candidate generation.
+
+    Returns the same ``(src_indices, dst_indices, horizontal)`` CSR
+    triple as the exhaustive sweep, bit-identical (property-tested in
+    ``tests/test_candidates_parity.py`` and asserted per benchmark run).
+    """
+    index = CandidateIndex(predicate, digests, availabilities)
+    avs = index.availabilities
+    digests = index.digests
+    n = avs.shape[0]
+    empty = np.empty(0, dtype=np.int64)
+    if n == 0:
+        return empty, empty.copy(), np.empty(0, dtype=bool)
+    if block_rows <= 0:
+        raise ValueError(f"block_rows must be positive, got {block_rows}")
+    eps = predicate.epsilon
+    pdf = predicate.pdf
+    hash_fn = predicate.hash_fn
+    horizontal = predicate.horizontal
+    vertical = predicate.vertical
+    src_chunks = []
+    dst_chunks = []
+    horizontal_chunks = []
+    zero = np.uint64(0)
+    for s0 in range(0, n, block_rows):
+        s1 = min(s0 + block_rows, n)
+        av_x = avs[s0:s1]
+        with np.errstate(over="ignore"):
+            shifts = hash_fn.shift_array(digests[s0:s1])
+        if index.h_kind == "src":
+            t_h = horizontal.candidate_values(av_x, pdf)
+        else:
+            t_h = np.full(av_x.shape[0], index.h_const)
+        pos_parts = []
+        src_parts = []
+        for j, b in enumerate(index.nonempty):
+            b_start = index.offsets[b]
+            b_stop = index.offsets[b + 1]
+            m = int(b_stop - b_start)
+            lo_av = index.av_min[j]
+            hi_av = index.av_max[j]
+            # Band classification of the whole bucket per source, from
+            # actual member min/max (float subtraction is monotone, so
+            # these are exactly the extreme per-pair distances).
+            in_all = (av_x - lo_av < eps) & (hi_av - av_x < eps)
+            out_all = (lo_av - av_x >= eps) | (av_x - hi_av >= eps)
+            if index.v_kind == "const":
+                t_v = np.full(av_x.shape[0], index.v_const)
+            elif index.v_kind == "dst":
+                t_v = np.full(av_x.shape[0], index.v_bucket_max[j])
+            else:  # "dst-distance"
+                dist_min = np.maximum(np.maximum(lo_av - av_x, av_x - hi_av), 0.0)
+                with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+                    t_v = np.where(
+                        dist_min > 0.0, index.v_bucket_max[j] / dist_min, np.inf
+                    )
+                t_v = np.minimum(t_v, 1.0)
+            bound = np.where(in_all, t_h, np.where(out_all, t_v, np.maximum(t_h, t_v)))
+            if cushion:
+                bound = np.minimum(1.0, bound + cushion)
+            scaled = bound * _U64_SCALE * _REL_SLACK + _ABS_SLACK
+            full = scaled >= _FULL_CUTOFF
+            # Full buckets bypass the interval search entirely; clip so
+            # the cast stays in uint64 range for them too.
+            t_int = np.minimum(scaled, _FULL_CUTOFF).astype(np.uint64)
+            bucket_keys = index.keys_sorted[b_start:b_stop]
+            with np.errstate(over="ignore"):
+                lo_key = (zero - shifts).astype(np.uint64)
+                hi_key = (t_int - shifts).astype(np.uint64)
+            a = np.searchsorted(bucket_keys, lo_key, side="left")
+            c = np.searchsorted(bucket_keys, hi_key, side="right")
+            wrapped = lo_key > hi_key
+            # Range 1: [0, c) when wrapped or full-bucket, else [a, c).
+            start1 = np.where(wrapped | full, 0, a)
+            stop1 = np.where(full, m, c)
+            # Range 2: [a, m) when wrapped (disjoint from range 1).
+            start2 = np.where(wrapped & ~full, a, 0)
+            stop2 = np.where(wrapped & ~full, m, 0)
+            owners = np.arange(av_x.shape[0], dtype=np.int64)
+            p1, o1 = _expand_ranges(start1.astype(np.int64), stop1.astype(np.int64), owners)
+            p2, o2 = _expand_ranges(start2.astype(np.int64), stop2.astype(np.int64), owners)
+            if p1.size:
+                pos_parts.append(p1 + int(b_start))
+                src_parts.append(o1)
+            if p2.size:
+                pos_parts.append(p2 + int(b_start))
+                src_parts.append(o2)
+        if not pos_parts:
+            continue
+        pos = np.concatenate(pos_parts)
+        src_local = np.concatenate(src_parts)
+        dst_rows = index.rows_sorted[pos]
+        not_self = dst_rows != (src_local + s0)
+        dst_rows = dst_rows[not_self]
+        src_local = src_local[not_self]
+        if dst_rows.size == 0:
+            continue
+        # Exact filter: identical float comparisons to the exhaustive
+        # block sweep (same per-pair thresholds, same |Δav| < ε
+        # classification, same cushion clamp).
+        with np.errstate(over="ignore"):
+            wrapped_sum = (shifts[src_local] + index.keys[dst_rows]).astype(np.uint64)
+        hashes = wrapped_sum.astype(np.float64) / _U64_SCALE
+        deltas = np.abs(av_x[src_local] - avs[dst_rows])
+        h_mask = deltas < eps
+        if index.h_kind == "src":
+            h_t = t_h[src_local]
+        else:
+            h_t = index.h_const
+        if index.v_kind == "const":
+            v_t = index.v_const
+        elif index.v_kind == "dst":
+            v_t = index.v_values[dst_rows]
+        else:
+            v_t = vertical.pair_threshold_values(av_x[src_local], avs[dst_rows], pdf)
+        thresholds = np.where(h_mask, h_t, v_t)
+        if cushion:
+            thresholds = np.minimum(1.0, thresholds + cushion)
+        member = hashes <= thresholds
+        src_local = src_local[member]
+        dst_rows = dst_rows[member]
+        h_mask = h_mask[member]
+        order = np.lexsort((dst_rows, src_local))
+        src_chunks.append((src_local[order] + s0).astype(np.int64))
+        dst_chunks.append(dst_rows[order].astype(np.int64))
+        horizontal_chunks.append(h_mask[order])
+    if not src_chunks:
+        return empty, empty.copy(), np.empty(0, dtype=bool)
+    return (
+        np.concatenate(src_chunks),
+        np.concatenate(dst_chunks),
+        np.concatenate(horizontal_chunks),
+    )

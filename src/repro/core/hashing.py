@@ -7,13 +7,25 @@ used".  Consistency (any party computes the same value from the two
 identifiers alone) is the property that lets third parties verify
 membership claims; cryptographic strength is not otherwise load-bearing.
 
-Three interchangeable implementations:
+Interchangeable implementations:
 
 * :class:`DigestPairHash` — SHA-1 (paper's suggestion), MD5, or BLAKE2b
   over the concatenated endpoint strings.
 * :class:`Mix64PairHash` — a splitmix64-style bijective mixer over the
   ids' 64-bit digests.  Statistically uniform, an order of magnitude
   faster, and vectorizable with NumPy — the default for large sweeps.
+* :class:`Affine64PairHash` — a *shift-structured* consistent hash,
+  ``H(x, y) = ((A·mix64(dx) + B·mix64(dy)) mod 2^64) / 2^64``.  Still
+  consistent, directed, and per-pair uniform, but for a fixed source the
+  membership condition ``H(x, y) <= t`` becomes a single wrapped
+  interval over the destination *key* ``B·mix64(dy)`` — which is what
+  lets the candidate-generation stage in
+  :mod:`repro.core.candidates` enumerate exactly the passing
+  destinations by binary search instead of evaluating all N pairs.
+  The output-mixed hashes (mix64, the digest hashes) are PRF-like:
+  every ordered pair's bit is independent, so *no* sub-quadratic exact
+  enumeration exists for them and overlay construction must fall back
+  to the block-tiled N×N sweep.
 
 All of them are **asymmetric**: ``H(x, y) != H(y, x)`` in general, because
 membership ``M(x, y)`` is a directed relation.
@@ -29,7 +41,14 @@ import numpy as np
 
 from repro.core.ids import NodeId
 
-__all__ = ["PairwiseHash", "DigestPairHash", "Mix64PairHash", "make_hash", "HASH_NAMES"]
+__all__ = [
+    "PairwiseHash",
+    "DigestPairHash",
+    "Mix64PairHash",
+    "Affine64PairHash",
+    "make_hash",
+    "HASH_NAMES",
+]
 
 _U64_MASK = (1 << 64) - 1
 _U64_SCALE = float(1 << 64)
@@ -70,6 +89,14 @@ class PairwiseHash(abc.ABC):
     @property
     def supports_matrix(self) -> bool:
         return type(self).value_matrix is not PairwiseHash.value_matrix
+
+    @property
+    def supports_interval(self) -> bool:
+        """Whether ``H(x, y) <= t`` reduces, for fixed ``x``, to a wrapped
+        integer interval over a per-destination key (see
+        :class:`Affine64PairHash`).  Hashes with this structure support
+        exact O(log m) candidate enumeration; PRF-style hashes do not."""
+        return False
 
 
 def _mix64_int(z: int) -> int:
@@ -134,6 +161,90 @@ class Mix64PairHash(PairwiseHash):
         return outer.astype(np.float64) / _U64_SCALE
 
 
+class Affine64PairHash(PairwiseHash):
+    """Shift-structured consistent hash enabling exact candidate
+    enumeration.
+
+    ``H(x, y) = ((A·mix64(digest(x)) + B·mix64(digest(y)) + salt') mod
+    2^64) / 2^64`` with fixed odd constants ``A`` and ``B`` (and
+    ``salt' = mix64(salt)``).  The per-operand mix64 scrambles the raw
+    SHA-1 digests so availability bands do not correlate with hash
+    position; the *affine combination* — instead of an output mix —
+    preserves order structure: for a fixed source the condition
+    ``H(x, y) <= t`` holds iff the destination key ``B·mix64(digest(y))``
+    falls in one wrapped interval of width ``t·2^64`` whose position
+    depends only on the source.  Sorting keys once therefore answers
+    every membership query by binary search, which is the foundation of
+    the O(N·k) overlay construction in :mod:`repro.core.candidates`.
+
+    The hash stays consistent (any third party recomputes it from the
+    two identifiers), directed (``A != B`` breaks symmetry), and
+    per-pair marginally uniform (for fixed ``x``, ``y -> H(x, y)`` is a
+    bijection of the mixed key space).  What it gives up relative to
+    mix64 is *pairwise independence across sources* — structured source
+    digests could correlate — which the AVMEM predicate does not rely
+    on.
+    """
+
+    name = "affine64"
+
+    #: odd multipliers: golden-ratio and a xxhash-style constant
+    _A = 0x9E3779B97F4A7C15
+    _B = 0xC2B2AE3D27D4EB4F
+
+    def __init__(self, salt: int = 0):
+        if salt < 0:
+            raise ValueError(f"salt must be non-negative, got {salt}")
+        self.salt = salt & _U64_MASK
+        self._salt_mixed = _mix64_int(self.salt) if self.salt else 0
+        if self.salt:
+            self.name = f"affine64:{self.salt}"
+
+    def _shift_int(self, digest: int) -> int:
+        """Source-side term ``A·mix64(dx) + salt'`` (mod 2^64)."""
+        return (self._A * _mix64_int(digest) + self._salt_mixed) & _U64_MASK
+
+    def _key_int(self, digest: int) -> int:
+        """Destination-side key ``B·mix64(dy)`` (mod 2^64)."""
+        return (self._B * _mix64_int(digest)) & _U64_MASK
+
+    def value(self, x: NodeId, y: NodeId) -> float:
+        wrapped = (self._shift_int(x.digest64) + self._key_int(y.digest64)) & _U64_MASK
+        return wrapped / _U64_SCALE
+
+    def shift_array(self, digests_x: np.ndarray) -> np.ndarray:
+        """Vectorized source shifts (``uint64``)."""
+        digests_x = np.asarray(digests_x, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            mixed = _mix64_array(digests_x)
+            return (
+                np.uint64(self._A) * mixed + np.uint64(self._salt_mixed)
+            ).astype(np.uint64)
+
+    def key_array(self, digests_y: np.ndarray) -> np.ndarray:
+        """Vectorized destination keys (``uint64``)."""
+        digests_y = np.asarray(digests_y, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            return (np.uint64(self._B) * _mix64_array(digests_y)).astype(np.uint64)
+
+    def value_many(self, x: NodeId, digests_y: np.ndarray) -> np.ndarray:
+        with np.errstate(over="ignore"):
+            shift = np.uint64(self._shift_int(x.digest64))
+            wrapped = (shift + self.key_array(digests_y)).astype(np.uint64)
+        return wrapped.astype(np.float64) / _U64_SCALE
+
+    def value_matrix(self, digests_x: np.ndarray, digests_y: np.ndarray) -> np.ndarray:
+        with np.errstate(over="ignore"):
+            shifts = self.shift_array(digests_x)
+            keys = self.key_array(digests_y)
+            wrapped = (shifts[:, None] + keys[None, :]).astype(np.uint64)
+        return wrapped.astype(np.float64) / _U64_SCALE
+
+    @property
+    def supports_interval(self) -> bool:
+        return True
+
+
 class DigestPairHash(PairwiseHash):
     """Cryptographic-digest hash over the concatenated endpoints.
 
@@ -170,6 +281,7 @@ def _blake2b() -> PairwiseHash:
 
 _REGISTRY: Dict[str, object] = {
     "mix64": Mix64PairHash,
+    "affine64": Affine64PairHash,
     "sha1": _sha1,
     "md5": _md5,
     "blake2b": _blake2b,

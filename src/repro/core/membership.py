@@ -114,10 +114,11 @@ class NeighborView(NamedTuple):
     """
 
     slots: np.ndarray  #: int64 slot handles (pass back to refresh_round)
-    nodes: np.ndarray  #: object array of NodeId
+    nodes: Optional[np.ndarray]  #: object array of NodeId (None if not requested)
     availabilities: np.ndarray  #: float array of cached availabilities
     horizontal: np.ndarray  #: bool array, True = HORIZONTAL sliver
     digests: np.ndarray  #: uint64 endpoint digests (for vectorized hashing)
+    rows: Optional[np.ndarray] = None  #: int64 population rows (-1 unknown; None for object-backed tables)
 
 
 class MembershipTable:
@@ -140,8 +141,13 @@ class MembershipTable:
 
     _INITIAL_CAPACITY = 8
 
-    def __init__(self, owner: NodeId):
+    def __init__(self, owner: NodeId, population=None):
         self.owner = owner
+        #: optional :class:`~repro.core.population.Population` backing —
+        #: enables row-keyed bulk installs (:meth:`upsert_rows`) with
+        #: identities materialized lazily only when scalar accessors or
+        #: the nodes column of :meth:`neighbor_arrays` need them.
+        self.population = population
         capacity = self._INITIAL_CAPACITY
         self._capacity = capacity
         self._size = 0  # high-water slot mark (live + dead slots)
@@ -155,6 +161,7 @@ class MembershipTable:
         self._checked = np.zeros(capacity, dtype=float)
         self._seq = np.zeros(capacity, dtype=np.int64)
         self._alive = np.zeros(capacity, dtype=bool)
+        self._rows = np.full(capacity, -1, dtype=np.int64)
         # Lazy caches: None marks "rebuild on next scalar access".
         self._slot_of: Optional[Dict[NodeId, int]] = {}
         self._materialized: Dict[NodeId, MemberEntry] = {}
@@ -162,9 +169,22 @@ class MembershipTable:
     # ------------------------------------------------------------------
     # Internal plumbing
     # ------------------------------------------------------------------
+    def _materialize_missing_ids(self, slots: np.ndarray) -> None:
+        """Fill in identity objects for row-installed slots that have
+        never been touched by a scalar accessor."""
+        for slot in slots:
+            if self._ids[slot] is None:
+                row = int(self._rows[slot])
+                if row < 0 or self.population is None:
+                    raise RuntimeError(
+                        f"slot {int(slot)} has neither an id nor a population row"
+                    )
+                self._ids[slot] = self.population.id_of(row)
+
     def _ensure_index(self) -> Dict[NodeId, int]:
         if self._slot_of is None:
             live = np.flatnonzero(self._alive[: self._size])
+            self._materialize_missing_ids(live)
             self._slot_of = {self._ids[slot]: int(slot) for slot in live}
         return self._slot_of
 
@@ -179,6 +199,9 @@ class MembershipTable:
             new = np.zeros(capacity, dtype=old.dtype)
             new[: self._size] = old[: self._size]
             setattr(self, name, new)
+        rows = np.full(capacity, -1, dtype=np.int64)
+        rows[: self._size] = self._rows[: self._size]
+        self._rows = rows
         ids = np.empty(capacity, dtype=object)
         ids[: self._size] = self._ids[: self._size]
         self._ids = ids
@@ -195,7 +218,7 @@ class MembershipTable:
         if dead <= max(8, self._count):
             return
         live = np.flatnonzero(self._alive[: self._size])
-        for name in ("_ids", "_digests", "_avail", "_horiz", "_added", "_checked", "_seq"):
+        for name in ("_ids", "_digests", "_avail", "_horiz", "_added", "_checked", "_seq", "_rows"):
             column = getattr(self, name)
             column[: live.size] = column[live]
         self._alive[: live.size] = True
@@ -206,6 +229,9 @@ class MembershipTable:
 
     def _entry_at(self, slot: int) -> MemberEntry:
         node = self._ids[slot]
+        if node is None:
+            self._materialize_missing_ids(np.array([slot]))
+            node = self._ids[slot]
         entry = self._materialized.get(node)
         if entry is None:
             entry = MemberEntry(
@@ -254,6 +280,9 @@ class MembershipTable:
             self._digests[slot] = node.digest64
             self._added[slot] = now
             self._alive[slot] = True
+            self._rows[slot] = (
+                self.population.find_row(node) if self.population is not None else -1
+            )
             index[node] = slot
         self._avail[slot] = availability
         self._horiz[slot] = kind is SliverKind.HORIZONTAL
@@ -287,6 +316,7 @@ class MembershipTable:
         """Drop every neighbor."""
         self._alive[: self._size] = False
         self._ids[: self._size] = None
+        self._rows[: self._size] = -1
         self._size = 0
         self._count = 0
         self._slot_of = {}
@@ -358,7 +388,65 @@ class MembershipTable:
             self._digests[new_slots] = digests[new_mask]
             self._added[new_slots] = now
             self._alive[new_slots] = True
+            self._rows[new_slots] = -1
             slots[new_mask] = new_slots
+        self._avail[slots] = availabilities
+        self._horiz[slots] = horizontal_flags
+        self._checked[slots] = now
+        self._seq[slots] = self._next_seq_block(batch)
+        self._materialized = {}
+        self._slot_of = None
+        return batch
+
+    def upsert_rows(
+        self,
+        rows: np.ndarray,
+        availabilities: np.ndarray,
+        horizontal_flags: np.ndarray,
+        now: float,
+    ) -> int:
+        """Row-keyed :meth:`upsert_many`: install neighbors by population
+        row index without touching any :class:`NodeId` objects.
+
+        Requires a population-backed table.  Digests come straight from
+        the population's digest column; identities stay unmaterialized
+        until a scalar accessor (or the ``nodes`` column of
+        :meth:`neighbor_arrays`) asks for them — which is what keeps
+        whole-population bootstrap object-free at large N.  Semantics are
+        otherwise identical to :meth:`upsert_many` in batch order.
+        """
+        if self.population is None:
+            raise ValueError("upsert_rows requires a population-backed table")
+        rows = np.asarray(rows, dtype=np.int64)
+        batch = rows.size
+        if batch == 0:
+            return 0
+        availabilities = np.asarray(availabilities, dtype=float)
+        horizontal_flags = np.asarray(horizontal_flags, dtype=bool)
+        if not (availabilities.size == horizontal_flags.size == batch):
+            raise ValueError(
+                f"parallel batch arrays must share length {batch}, got "
+                f"{availabilities.size}/{horizontal_flags.size}"
+            )
+        if np.unique(rows).size != batch:
+            raise ValueError("rows must be unique within one upsert_rows batch")
+        digests = self.population.digests[rows]
+        if np.any(digests == np.uint64(self.owner.digest64)):
+            raise ValueError("a node cannot be its own neighbor")
+        slots = self._match_slots(digests)
+        new_mask = slots < 0
+        fresh = int(np.count_nonzero(new_mask))
+        if fresh:
+            self._grow_to(self._size + fresh)
+            new_slots = np.arange(self._size, self._size + fresh, dtype=np.int64)
+            self._size += fresh
+            self._count += fresh
+            self._ids[new_slots] = None  # lazily materialized from rows
+            self._digests[new_slots] = digests[new_mask]
+            self._added[new_slots] = now
+            self._alive[new_slots] = True
+            slots[new_mask] = new_slots
+        self._rows[slots] = rows
         self._avail[slots] = availabilities
         self._horiz[slots] = horizontal_flags
         self._checked[slots] = now
@@ -382,24 +470,30 @@ class MembershipTable:
         out[matched] = live[candidate[matched]]
         return out
 
-    def neighbor_arrays(self) -> NeighborView:
+    def neighbor_arrays(self, with_nodes: bool = True) -> NeighborView:
         """Columnar snapshot of the live neighbors (listing order).
 
         The returned :class:`NeighborView` carries the slot handles
         :meth:`refresh_round` consumes; any other mutation of the table
-        invalidates them.
+        invalidates them.  ``with_nodes=False`` skips :class:`NodeId`
+        materialization (``nodes`` is None) — row-space callers on a
+        population-backed table should prefer it so bulk flows never
+        instantiate identity objects.
         """
         live = np.flatnonzero(self._alive[: self._size])
         horizontal = self._horiz[live]
         # One lexsort gives the listing order directly: HS block first
         # (~horizontal ascending), recency within each block.
         slots = live[np.lexsort((self._seq[live], ~horizontal))]
+        if with_nodes:
+            self._materialize_missing_ids(slots)
         return NeighborView(
             slots=slots,
-            nodes=self._ids[slots],
+            nodes=self._ids[slots] if with_nodes else None,
             availabilities=self._avail[slots],
             horizontal=self._horiz[slots],
             digests=self._digests[slots],
+            rows=self._rows[slots] if self.population is not None else None,
         )
 
     def refresh_round(

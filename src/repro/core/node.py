@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.config import AvmemConfig
 from repro.core.ids import NodeId
 from repro.core.membership import MembershipLists
+from repro.core.population import Population
 from repro.core.predicates import AvmemPredicate, NodeDescriptor
 from repro.core.verification import InboundVerifier
 from repro.monitor.base import CoarseViewProvider
@@ -59,11 +60,17 @@ class AvmemNode:
         The shuffled partial-membership service.
     rng:
         Stream for protocol randomness (start staggering, tie-breaking).
+    population, row:
+        Optional struct-of-arrays binding.  When given, the node is a
+        lightweight view over ``population`` row ``row``: its membership
+        lists are population-backed (row-keyed installs stay object-free)
+        and ``node_id`` may be omitted — it is materialized lazily from
+        the population only when identity-object APIs need it.
     """
 
     def __init__(
         self,
-        node_id: NodeId,
+        node_id: Optional[NodeId],
         sim: Simulator,
         network: Network,
         predicate: AvmemPredicate,
@@ -71,7 +78,13 @@ class AvmemNode:
         availability_view: CachedAvailabilityView,
         coarse_view: CoarseViewProvider,
         rng: Optional[np.random.Generator] = None,
+        population: Optional["Population"] = None,
+        row: Optional[int] = None,
     ):
+        if node_id is None:
+            if population is None or row is None:
+                raise ValueError("node_id may only be omitted with population and row")
+            node_id = population.id_of(int(row))
         self.id = node_id
         self.sim = sim
         self.network = network
@@ -80,7 +93,9 @@ class AvmemNode:
         self.availability = availability_view
         self.coarse_view = coarse_view
         self.rng = rng if rng is not None else np.random.default_rng(0)
-        self.lists = MembershipLists(node_id)
+        self.population = population
+        self.row = int(row) if row is not None else None
+        self.lists = MembershipLists(node_id, population=population)
         self.verifier = InboundVerifier(
             node_id, predicate, availability_view, cushion=config.cushion
         )
@@ -253,6 +268,22 @@ class AvmemNode:
         """
         return self.lists.upsert_many(
             ids, availabilities, horizontal_flags, now=self.sim.now, digests=digests
+        )
+
+    def install_member_rows(
+        self,
+        rows: np.ndarray,
+        availabilities: np.ndarray,
+        horizontal_flags: np.ndarray,
+    ) -> int:
+        """Row-space :meth:`install_members` for population-backed nodes.
+
+        Same contract, but neighbors are addressed by population row, so
+        a whole-population bootstrap installs CSR slices without ever
+        materializing :class:`NodeId` objects.
+        """
+        return self.lists.upsert_rows(
+            rows, availabilities, horizontal_flags, now=self.sim.now
         )
 
     # ------------------------------------------------------------------

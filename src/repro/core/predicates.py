@@ -36,6 +36,7 @@ from repro.core.slivers import (
     LogarithmicVertical,
     RandomUniformRule,
     VerticalSliverRule,
+    has_candidate_bound,
     has_matrix_threshold,
 )
 from repro.util.validation import check_positive, check_probability, check_unit_interval
@@ -191,20 +192,54 @@ class AvmemPredicate:
                     member[i] = False
         return member, horizontal_mask
 
+    @property
+    def supports_candidate_generation(self) -> bool:
+        """Whether this predicate admits the exact O(N·k) candidate
+        path: an interval-structured hash (e.g. ``affine64``) plus
+        bucket-boundable sliver rules (every paper rule; not
+        application :class:`~repro.core.slivers.FunctionRule`\\ s)."""
+        return (
+            getattr(self.hash_fn, "supports_interval", False)
+            and has_candidate_bound(self.horizontal)
+            and has_candidate_bound(self.vertical)
+        )
+
+    def _resolve_method(self, method: str) -> str:
+        if method == "auto":
+            return "candidates" if self.supports_candidate_generation else "exhaustive"
+        if method not in ("exhaustive", "candidates"):
+            raise ValueError(
+                f"method must be 'exhaustive', 'candidates', or 'auto', got {method!r}"
+            )
+        if method == "candidates" and not self.supports_candidate_generation:
+            raise ValueError(
+                f"predicate {self!r} does not support candidate generation: "
+                "it needs an interval-structured hash (affine64) and sliver "
+                "rules with bucket bounds"
+            )
+        return method
+
     def evaluate_all(
         self,
         ids: Sequence[NodeId],
         availabilities: np.ndarray,
         cushion: float = 0.0,
         block_rows: int = 256,
+        method: str = "exhaustive",
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Evaluate ``M(x_i, y_j)`` for the entire population at once.
 
-        Computes the full N×N hash/threshold comparison in numpy blocks
-        of ``block_rows`` source rows (tiling bounds peak memory at
-        ``O(block_rows · N)``), instead of one :meth:`evaluate_many` call
-        per source row.  Because the predicate is consistent this is the
-        whole overlay in one call — the engine behind the array-backed
+        ``method`` selects the engine: ``"exhaustive"`` computes the
+        full N×N hash/threshold comparison in numpy blocks of
+        ``block_rows`` source rows (tiling bounds peak memory at
+        ``O(block_rows · N)``); ``"candidates"`` enumerates only the
+        O(k) plausible neighbors per source through the inverted index
+        in :mod:`repro.core.candidates` (requires an
+        interval-structured hash — see
+        :attr:`supports_candidate_generation`) and is exact-parity with
+        the sweep; ``"auto"`` picks candidates whenever supported.
+        Because the predicate is consistent this is the whole overlay in
+        one call — the engine behind the array-backed
         :class:`~repro.overlays.graphs.OverlayGraph`.
 
         Returns ``(src_indices, dst_indices, horizontal)``: parallel
@@ -226,6 +261,59 @@ class AvmemPredicate:
         if block_rows <= 0:
             raise ValueError(f"block_rows must be positive, got {block_rows}")
         digests = digest_array(ids)
+        if self._resolve_method(method) == "candidates":
+            from repro.core.candidates import evaluate_all_candidates
+
+            return evaluate_all_candidates(self, digests, availabilities, cushion)
+        return self._exhaustive_blocks(digests, availabilities, cushion, block_rows, ids)
+
+    def evaluate_all_rows(
+        self,
+        digests: np.ndarray,
+        availabilities: np.ndarray,
+        cushion: float = 0.0,
+        block_rows: int = 256,
+        method: str = "auto",
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Row-space :meth:`evaluate_all`: operate directly on a
+        population's ``uint64`` digest array without materializing any
+        :class:`NodeId` objects — the entry point for
+        :class:`~repro.core.population.Population`-backed overlay
+        construction at large N.  The exhaustive engine requires a
+        matrix-capable hash here (string hashes need the id objects);
+        output is identical to :meth:`evaluate_all` on the ids with the
+        same digests.
+        """
+        check_probability(cushion, "cushion")
+        digests = np.asarray(digests, dtype=np.uint64)
+        availabilities = np.asarray(availabilities, dtype=float)
+        n = digests.shape[0]
+        if availabilities.size != n:
+            raise ValueError(f"{n} digests but {availabilities.size} availabilities")
+        if np.unique(digests).size != n:
+            raise ValueError("digests must be unique")
+        if block_rows <= 0:
+            raise ValueError(f"block_rows must be positive, got {block_rows}")
+        if self._resolve_method(method) == "candidates":
+            from repro.core.candidates import evaluate_all_candidates
+
+            return evaluate_all_candidates(self, digests, availabilities, cushion)
+        if not self.hash_fn.supports_matrix:
+            raise ValueError(
+                f"hash {self.hash_fn.name!r} cannot evaluate in row space "
+                "(no matrix form); pass the ids to evaluate_all instead"
+            )
+        return self._exhaustive_blocks(digests, availabilities, cushion, block_rows, None)
+
+    def _exhaustive_blocks(
+        self,
+        digests: np.ndarray,
+        availabilities: np.ndarray,
+        cushion: float,
+        block_rows: int,
+        ids: Optional[Sequence[NodeId]],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        n = digests.shape[0]
         use_matrix_hash = self.hash_fn.supports_matrix
         # Rules with closed-form matrix thresholds are total functions and
         # can be evaluated over the full grid; rules that only define the

@@ -47,6 +47,7 @@ __all__ = [
     "VerticalSliverRule",
     "HorizontalSliverRule",
     "has_matrix_threshold",
+    "has_candidate_bound",
     "ConstantVertical",
     "LogarithmicVertical",
     "LogarithmicDecreasingVertical",
@@ -65,9 +66,32 @@ _DENSITY_FLOOR = 1e-12
 class _Rule(abc.ABC):
     """Shared base: scalar threshold plus an optionally-vectorized form."""
 
+    #: How the candidate-generation stage (:mod:`repro.core.candidates`)
+    #: can upper-bound this rule's threshold over a *bucket* of
+    #: destination availabilities:
+    #:
+    #: * ``"const"`` — the threshold is one constant.
+    #: * ``"src"`` — depends only on ``av(x)``: exact per-source scalar.
+    #: * ``"dst"`` — depends only on ``av(y)``: exact per-destination
+    #:   values (:meth:`candidate_values`), bounded by the bucket max.
+    #: * ``"dst-distance"`` — per-destination base value divided by the
+    #:   availability distance (I.C): bounded by bucket-max base over the
+    #:   minimum possible distance.
+    #: * ``None`` — no bound available; candidate generation is
+    #:   unsupported for predicates using this rule (FunctionRule).
+    CANDIDATE_BOUND = None
+
     @abc.abstractmethod
     def threshold(self, av_x: float, av_y: float, pdf: AvailabilityPdf) -> float:
         """The ``f(av(x), av(y))`` value in [0, 1]."""
+
+    def candidate_values(self, avs: np.ndarray, pdf: AvailabilityPdf) -> np.ndarray:
+        """Per-node values backing the declared :attr:`CANDIDATE_BOUND`
+        (per-destination thresholds for ``"dst"``, uncapped base values
+        for ``"dst-distance"``, per-source scalars for ``"src"``)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not participate in candidate generation"
+        )
 
     def threshold_many(
         self, av_x: float, av_ys: np.ndarray, pdf: AvailabilityPdf
@@ -107,6 +131,12 @@ def has_matrix_threshold(rule: "_Rule") -> bool:
     return type(rule).threshold_matrix is not _Rule.threshold_matrix
 
 
+def has_candidate_bound(rule: "_Rule") -> bool:
+    """Whether the candidate-generation stage can bound ``rule`` over an
+    availability bucket (see :attr:`_Rule.CANDIDATE_BOUND`)."""
+    return rule.CANDIDATE_BOUND is not None
+
+
 class VerticalSliverRule(_Rule):
     """Marker base class for vertical sub-predicates."""
 
@@ -120,6 +150,8 @@ class HorizontalSliverRule(_Rule):
 # ----------------------------------------------------------------------
 class ConstantVertical(VerticalSliverRule):
     """[I.A] availability-independent acceptance probability."""
+
+    CANDIDATE_BOUND = "const"
 
     def __init__(self, probability: float):
         self.probability = check_probability(probability, "vertical probability")
@@ -148,8 +180,17 @@ class ConstantVertical(VerticalSliverRule):
 class LogarithmicVertical(VerticalSliverRule):
     """[I.B] ``min(c1·log(N*) / (N*·p(av(y))), 1)`` — uniform coverage."""
 
+    CANDIDATE_BOUND = "dst"
+
     def __init__(self, c1: float = 3.0):
         self.c1 = check_positive(c1, "c1")
+
+    def candidate_values(self, avs, pdf):
+        # Exact per-destination thresholds: the candidate stage bounds a
+        # bucket by their max and re-filters hits against these same
+        # floats, so the computation must match threshold_matrix — which
+        # broadcasts exactly this threshold_many row.
+        return self.threshold_many(0.0, np.asarray(avs, dtype=float), pdf)
 
     def threshold(self, av_x: float, av_y: float, pdf: AvailabilityPdf) -> float:
         density = pdf.density(av_y)
@@ -178,8 +219,38 @@ class LogarithmicDecreasingVertical(VerticalSliverRule):
     """[I.C] I.B divided by ``|av(y) − av(x)|`` — exponentially-spaced
     long links, Pastry/Chord-style (Corollary 1.1)."""
 
+    CANDIDATE_BOUND = "dst-distance"
+
     def __init__(self, c1: float = 3.0):
         self.c1 = check_positive(c1, "c1")
+
+    def candidate_values(self, avs, pdf):
+        # Uncapped base values (the numerator over N*·density, before the
+        # distance division): degenerate densities map to +inf so any
+        # bucket containing them bounds to 1.0.
+        avs = np.asarray(avs, dtype=float)
+        densities = np.asarray(pdf.density(avs))
+        numerator = self.c1 * log_at_least_one(pdf.n_star)
+        with np.errstate(divide="ignore"):
+            values = numerator / (pdf.n_star * densities)
+        values[densities <= _DENSITY_FLOOR] = np.inf
+        return values
+
+    def pair_threshold_values(self, av_xs, av_ys, pdf):
+        """Elementwise thresholds for paired ``(av_x, av_y)`` arrays,
+        float-identical to the corresponding :meth:`threshold_matrix`
+        entries (same expression, elementwise) — used by the candidate
+        stage's exact hit filter."""
+        av_xs = np.asarray(av_xs, dtype=float)
+        av_ys = np.asarray(av_ys, dtype=float)
+        densities = np.asarray(pdf.density(av_ys))
+        distances = np.abs(av_ys - av_xs)
+        numerator = self.c1 * log_at_least_one(pdf.n_star)
+        degenerate = (densities <= _DENSITY_FLOOR) | (distances <= 0.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            values = numerator / (pdf.n_star * densities * distances)
+        values[degenerate] = 1.0
+        return np.minimum(values, 1.0)
 
     def threshold(self, av_x: float, av_y: float, pdf: AvailabilityPdf) -> float:
         density = pdf.density(av_y)
@@ -222,6 +293,8 @@ class LogarithmicDecreasingVertical(VerticalSliverRule):
 class ConstantHorizontal(HorizontalSliverRule):
     """[II.A] fixed acceptance probability within the ±ε band."""
 
+    CANDIDATE_BOUND = "const"
+
     def __init__(self, probability: float):
         self.probability = check_probability(probability, "horizontal probability")
 
@@ -257,10 +330,17 @@ class LogarithmicConstantHorizontal(HorizontalSliverRule):
     view entry.
     """
 
+    CANDIDATE_BOUND = "src"
+
     def __init__(self, c2: float = 1.0, epsilon: float = 0.1):
         self.c2 = check_positive(c2, "c2")
         self.epsilon = check_positive(epsilon, "epsilon")
         self._cache: dict = {}
+
+    def candidate_values(self, avs, pdf):
+        # Per-*source* scalars: identical floats to the threshold_matrix
+        # column (same cached scalar lookups).
+        return np.array([self.threshold(float(ax), 0.0, pdf) for ax in avs])
 
     def threshold(self, av_x: float, av_y: float, pdf: AvailabilityPdf) -> float:
         # Quantize the cache key: the threshold is piecewise-linear in
@@ -332,6 +412,8 @@ class RandomUniformRule(VerticalSliverRule, HorizontalSliverRule):
     """``f(·,·) = p`` — the consistent random overlay (SCAMP/CYCLON-like
     degree profile, but verifiable).  Usable as either sliver rule; using
     it for both gives the Fig 10 baseline graph."""
+
+    CANDIDATE_BOUND = "const"
 
     def __init__(self, probability: float):
         self.probability = check_probability(probability, "random probability")

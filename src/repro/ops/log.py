@@ -454,13 +454,29 @@ class OperationLog:
         stacked_keys = np.stack(keys, axis=1)[mask]
         if stacked_keys.shape[0] == 0:
             return []
+        # Factorize once: np.unique gives each masked row its group code;
+        # a stable argsort of the codes then makes every group one
+        # contiguous slice of row indices (still in ascending row order,
+        # so per-group value sequences — and hence every mean/percentile
+        # below — match the per-group boolean-mask extraction exactly).
         groups, inverse = np.unique(stacked_keys, axis=0, return_inverse=True)
         indices = np.flatnonzero(mask)
+        order = np.argsort(inverse.reshape(-1), kind="stable")
+        sorted_rows = indices[order]
+        bounds = np.searchsorted(
+            inverse.reshape(-1)[order], np.arange(groups.shape[0] + 1)
+        )
+        launched_col = self.launched
+        delivered_col = self.delivered
+        latency_col = self.columns["latency"]
+        hops_col = self.columns["hops"]
+        transmissions_col = self.columns["transmissions"]
+        eligible_col = self.columns["eligible"]
+        delivered_count_col = self.columns["delivered_count"]
+        spam_col = self.columns["spam_count"]
         out: List[Dict[str, object]] = []
         for g in range(groups.shape[0]):
-            rows = indices[inverse == g]
-            group_mask = np.zeros(len(self), dtype=bool)
-            group_mask[rows] = True
+            rows = sorted_rows[bounds[g] : bounds[g + 1]]
             entry: Dict[str, object] = {}
             for (field, uniq), code in zip(decoders, groups[g]):
                 if uniq is not None:  # "target"
@@ -472,21 +488,42 @@ class OperationLog:
                     }
                 else:
                     entry[field] = _decode(field, int(code))
-            launched = group_mask & self.launched
-            delivered = group_mask & self.delivered
+            launched = launched_col[rows]
+            delivered = delivered_col[rows]
             n_launched = int(launched.sum())
-            p50, p90 = self.latency_percentiles((50.0, 90.0), group_mask)
-            hops = self.hops_delivered(group_mask)
-            reliability = self.reliability_values(group_mask)
-            spam = self.spam_ratio_values(group_mask)
+            n_delivered_launched = int((delivered & launched).sum())
+            latencies = latency_col[rows[delivered]]
+            latencies = latencies[np.isfinite(latencies)]
+            if latencies.size:
+                p50, p90 = 1000.0 * np.percentile(latencies, (50.0, 90.0))
+            else:
+                p50 = p90 = float("nan")
+            hops = hops_col[rows[delivered]]
+            tallied = rows[launched & (eligible_col[rows] >= 0)]
+            eligible = eligible_col[tallied].astype(float)
+            reliability = np.full(eligible.size, np.nan)
+            np.divide(
+                delivered_count_col[tallied].astype(float),
+                eligible,
+                out=reliability,
+                where=eligible > 0,
+            )
+            spam = np.full(eligible.size, np.nan)
+            np.divide(
+                spam_col[tallied].astype(float), eligible, out=spam, where=eligible > 0
+            )
             entry.update(
-                rows=int(group_mask.sum()),
+                rows=int(rows.size),
                 launched=n_launched,
                 delivered=int(delivered.sum()),
-                success_rate=self.success_rate(group_mask),
+                success_rate=(
+                    float(n_delivered_launched / n_launched)
+                    if n_launched
+                    else float("nan")
+                ),
                 mean_hops=float(hops.mean()) if hops.size else float("nan"),
                 mean_transmissions=(
-                    float(self.columns["transmissions"][launched].mean())
+                    float(transmissions_col[rows[launched]].mean())
                     if n_launched
                     else float("nan")
                 ),

@@ -71,9 +71,10 @@ class OperationRunner:
     def __init__(self, simulation):
         self._simulation = simulation
         self._by_endpoint: Optional[dict] = None
-        # Per-launch-instant cache of band -> initiator candidate lists
-        # (valid only while sim.now is unchanged; see _pick_from_band).
-        self._band_cache: Dict[str, List[NodeId]] = {}
+        # Per-launch-instant cache of band -> initiator candidate row
+        # arrays (valid only while sim.now is unchanged; see
+        # _pick_from_band).
+        self._band_cache: Dict[str, "np.ndarray"] = {}
         self._band_cache_time: Optional[float] = None
 
     # ------------------------------------------------------------------
@@ -180,21 +181,25 @@ class OperationRunner:
         """Draw a band initiator, sharing the candidate set across every
         launch slot at the current instant.
 
-        The candidate list is deterministic given (band, sim.now), so
+        The candidate set is deterministic given (band, sim.now), so
         same-offset slots reuse one vectorized computation while drawing
         from the ``"initiators"`` stream exactly like per-slot
         :meth:`~repro.simulation.AvmemSimulation.pick_initiator` calls.
+        Candidates are cached as a population-row array — only the one
+        drawn row is translated back to a :class:`NodeId` (trace order is
+        row order, so ``rows[j]`` names the node scalar candidate lists
+        held at position ``j``, and the rng consumption is unchanged).
         """
         simulation = self._simulation
         now = simulation.sim.now
         if self._band_cache_time != now:
             self._band_cache = {}
             self._band_cache_time = now
-        candidates = self._band_cache.get(band)
-        if candidates is None:
-            candidates = simulation.band_initiator_candidates(band)
-            self._band_cache[band] = candidates
-        if not candidates:
+        rows = self._band_cache.get(band)
+        if rows is None:
+            rows = simulation.band_initiator_rows(band)
+            self._band_cache[band] = rows
+        if not rows.size:
             return None
         rng = simulation._router.get(self.INITIATOR_STREAM)
-        return candidates[int(rng.integers(len(candidates)))]
+        return simulation.trace.nodes[int(rows[int(rng.integers(rows.size))])]

@@ -30,13 +30,15 @@ membership list" (``M(x, y) = 1``).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import networkx as nx
 import numpy as np
 
-from repro.core.ids import NodeId, digest_array
+from repro.core.ids import NodeId
+from repro.core.population import Population
 from repro.core.predicates import AvmemPredicate, NodeDescriptor, SliverKind
+from repro.util.memmaps import spill
 
 __all__ = [
     "OverlayGraph",
@@ -73,20 +75,35 @@ class OverlayGraph:
 
     def __init__(
         self,
-        ids: Sequence[NodeId],
-        availabilities: np.ndarray,
+        ids: Optional[Sequence[NodeId]],
+        availabilities: Optional[np.ndarray],
         src_indices: np.ndarray,
         dst_indices: np.ndarray,
         horizontal: np.ndarray,
+        *,
+        population: Optional[Population] = None,
+        storage: Optional[str] = None,
     ):
-        self.ids: Tuple[NodeId, ...] = tuple(ids)
-        self.availabilities = np.asarray(availabilities, dtype=float)
-        self.src_indices = np.asarray(src_indices, dtype=np.int64)
-        self.dst_indices = np.asarray(dst_indices, dtype=np.int64)
-        self.horizontal = np.asarray(horizontal, dtype=bool)
-        n = len(self.ids)
-        if self.availabilities.size != n:
-            raise ValueError("availabilities must match ids")
+        if population is None:
+            if ids is None or availabilities is None:
+                raise ValueError("pass either ids+availabilities or population=")
+            population = Population.from_ids(
+                tuple(ids), np.asarray(availabilities, dtype=float)
+            )
+        self.population = population
+        self.availabilities = population.availabilities
+        # Edge columns optionally spill to .npy memmaps: at 1M nodes the
+        # CSR is ~10^8 edges (~1.7 GB), which need not stay resident.
+        self.src_indices = spill(
+            np.asarray(src_indices, dtype=np.int64), storage, "overlay_src"
+        )
+        self.dst_indices = spill(
+            np.asarray(dst_indices, dtype=np.int64), storage, "overlay_dst"
+        )
+        self.horizontal = spill(
+            np.asarray(horizontal, dtype=bool), storage, "overlay_horizontal"
+        )
+        n = population.size
         if not (self.src_indices.size == self.dst_indices.size == self.horizontal.size):
             raise ValueError("edge arrays must be parallel")
         if self.src_indices.size:
@@ -97,10 +114,6 @@ class OverlayGraph:
                     raise ValueError(f"{name}_indices out of range [0, {n})")
         counts = np.bincount(self.src_indices, minlength=n)
         self.offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
-        self._index: Dict[NodeId, int] = {node: i for i, node in enumerate(self.ids)}
-        self._id_array: np.ndarray = np.empty(n, dtype=object)
-        self._id_array[:] = self.ids
-        self._digest_array = digest_array(self.ids)
 
     # ------------------------------------------------------------------
     # Construction
@@ -112,6 +125,8 @@ class OverlayGraph:
         predicate: AvmemPredicate,
         cushion: float = 0.0,
         block_rows: int = 256,
+        method: str = "exhaustive",
+        storage: Optional[str] = None,
     ) -> "OverlayGraph":
         """Materialize the overlay over ``descriptors`` in one batched
         predicate evaluation."""
@@ -120,36 +135,67 @@ class OverlayGraph:
             raise ValueError("descriptors must have unique node ids")
         avs = np.array([d.availability for d in descriptors], dtype=float)
         src, dst, horizontal = predicate.evaluate_all(
-            ids, avs, cushion=cushion, block_rows=block_rows
+            ids, avs, cushion=cushion, block_rows=block_rows, method=method
         )
-        return cls(ids, avs, src, dst, horizontal)
+        return cls(ids, avs, src, dst, horizontal, storage=storage)
+
+    @classmethod
+    def build_rows(
+        cls,
+        population: Population,
+        predicate: AvmemPredicate,
+        cushion: float = 0.0,
+        block_rows: int = 256,
+        method: str = "auto",
+        storage: Optional[str] = None,
+    ) -> "OverlayGraph":
+        """Materialize the overlay directly over a
+        :class:`~repro.core.population.Population` — no :class:`NodeId`
+        objects are touched, which is what keeps 100k–1M-row builds
+        memory-bounded.  ``method="auto"`` uses candidate generation
+        whenever the predicate supports it; ``storage`` spills the edge
+        CSR to ``.npy`` memmaps in that directory."""
+        src, dst, horizontal = predicate.evaluate_all_rows(
+            population.digests,
+            population.availabilities,
+            cushion=cushion,
+            block_rows=block_rows,
+            method=method,
+        )
+        return cls(None, None, src, dst, horizontal, population=population, storage=storage)
 
     # ------------------------------------------------------------------
     # Shape
     # ------------------------------------------------------------------
     @property
+    def ids(self) -> Tuple[NodeId, ...]:
+        """The node identities, in row order (materializes lazily — for
+        population-backed graphs prefer row indices)."""
+        return self.population.id_tuple
+
+    @property
     def number_of_nodes(self) -> int:
-        return len(self.ids)
+        return self.population.size
 
     @property
     def number_of_edges(self) -> int:
         return int(self.src_indices.size)
 
     def index_of(self, node: NodeId) -> int:
-        return self._index[node]
+        return self.population.row_of(node)
 
     @property
     def id_array(self) -> np.ndarray:
         """The node identities as an object array — fancy-indexable by
         ``dst_indices`` slices, so membership-table installs can gather a
         CSR row's identities without per-edge Python."""
-        return self._id_array
+        return self.population.id_array
 
     @property
     def digest64_array(self) -> np.ndarray:
-        """Per-node ``uint64`` endpoint digests, parallel to :attr:`ids`
-        (feeds :meth:`~repro.core.membership.MembershipTable.upsert_many`)."""
-        return self._digest_array
+        """Per-node ``uint64`` endpoint digests, parallel to the row
+        space (feeds :meth:`~repro.core.membership.MembershipTable.upsert_many`)."""
+        return self.population.digests
 
     def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
         """``(dst_indices, horizontal)`` slices for source ``i`` — the
@@ -158,8 +204,8 @@ class OverlayGraph:
         return self.dst_indices[sl], self.horizontal[sl]
 
     def successors(self, node: NodeId) -> List[NodeId]:
-        dsts, _ = self.row(self._index[node])
-        return [self.ids[j] for j in dsts]
+        dsts, _ = self.row(self.population.row_of(node))
+        return [self.population.id_of(j) for j in dsts]
 
     # ------------------------------------------------------------------
     # Degree / sliver analytics (array operations)
@@ -236,14 +282,22 @@ class OverlayGraph:
         graph = nx.DiGraph()
         for node, av in zip(self.ids, self.availabilities):
             graph.add_node(node, availability=float(av))
-        ids = self.ids
+        # Two bulk add_edges_from calls over the CSR arrays — one per
+        # sliver kind — instead of building a per-edge attribute dict in
+        # Python (networkx copies the keyword attrs into each edge's own
+        # dict, so sharing the kind value is safe).
+        ids_arr = self.id_array
+        horizontal = np.asarray(self.horizontal)
+        src_ids = ids_arr[self.src_indices]
+        dst_ids = ids_arr[self.dst_indices]
         graph.add_edges_from(
-            (ids[s], ids[d], {"kind": SliverKind.HORIZONTAL if h else SliverKind.VERTICAL})
-            for s, d, h in zip(
-                self.src_indices.tolist(),
-                self.dst_indices.tolist(),
-                self.horizontal.tolist(),
-            )
+            zip(src_ids[horizontal].tolist(), dst_ids[horizontal].tolist()),
+            kind=SliverKind.HORIZONTAL,
+        )
+        vertical = ~horizontal
+        graph.add_edges_from(
+            zip(src_ids[vertical].tolist(), dst_ids[vertical].tolist()),
+            kind=SliverKind.VERTICAL,
         )
         return graph
 
@@ -254,7 +308,7 @@ class OverlayGraph:
         remap[members] = np.arange(members.size)
         edge_mask = self.band_edge_mask(np.asarray(node_mask, dtype=bool))
         return OverlayGraph(
-            [self.ids[i] for i in members],
+            [self.population.id_of(i) for i in members],
             self.availabilities[members],
             remap[self.src_indices[edge_mask]],
             remap[self.dst_indices[edge_mask]],

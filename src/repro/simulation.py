@@ -33,6 +33,7 @@ from repro.churn.trace import ChurnTrace
 from repro.core.config import AvmemConfig
 from repro.core.ids import NodeId, make_node_ids
 from repro.core.node import AvmemNode
+from repro.core.population import Population
 from repro.core.availability import AvailabilityPdf
 from repro.core.predicates import (
     AvmemPredicate,
@@ -105,6 +106,13 @@ class SimulationSettings:
     #: batched eligibility snapshots; "per-hop" preserves the seed's
     #: one-event-per-message path (the parity/benchmark baseline)
     dispatch: str = "batch"
+    #: how direct bootstrap enumerates the overlay: "exhaustive" (block-
+    #: tiled N x N), "candidates" (O(N*k) interval enumeration; requires
+    #: an interval-searchable hash, e.g. affine64), or "auto" (candidates
+    #: whenever the predicate supports them, else exhaustive).  Both
+    #: paths produce the identical overlay; this only selects the
+    #: construction algorithm.
+    overlay_method: str = "auto"
     #: diurnal churn parameters forwarded to the trace generator
     diurnal_amplitude: float = 0.3
     diurnal_fraction: float = 0.4
@@ -133,6 +141,11 @@ class SimulationSettings:
         if self.dispatch not in ("batch", "per-hop"):
             raise ValueError(
                 f"dispatch must be 'batch' or 'per-hop', got {self.dispatch!r}"
+            )
+        if self.overlay_method not in ("exhaustive", "candidates", "auto"):
+            raise ValueError(
+                f"overlay_method must be 'exhaustive', 'candidates' or 'auto', "
+                f"got {self.overlay_method!r}"
             )
 
     @property
@@ -212,6 +225,12 @@ class AvmemSimulation:
         )
         # The "crawler's" offline PDF: lifetime availabilities of all hosts.
         lifetime = [self.trace.lifetime_availability(n) for n in self.node_ids]
+        # Struct-of-arrays identity core: digests/availabilities as flat
+        # columns, row index == trace/node_ids order.  Nodes and their
+        # membership tables hang off rows of this population.
+        self.population = Population.from_ids(
+            tuple(self.node_ids), np.asarray(lifetime, dtype=float)
+        )
         self.pdf = AvailabilityPdf.from_samples(lifetime, bins=s.config.pdf_bins)
         self.predicate = self._make_predicate(lifetime)
         view_size = s.config.view_size_for(self.pdf.n_star)
@@ -234,7 +253,7 @@ class AvmemSimulation:
                 period=s.config.discovery_period,
             )
         self.nodes: Dict[NodeId, AvmemNode] = {}
-        for node_id in self.node_ids:
+        for row, node_id in enumerate(self.node_ids):
             cache = CachedAvailabilityView(self.oracle, self.sim)
             self.nodes[node_id] = AvmemNode(
                 node_id,
@@ -245,6 +264,8 @@ class AvmemSimulation:
                 availability_view=cache,
                 coarse_view=self.coarse_view,
                 rng=self._router.get(f"node:{node_id.endpoint}"),
+                population=self.population,
+                row=row,
             )
         self.engine = OperationEngine(
             self.sim,
@@ -386,35 +407,37 @@ class AvmemSimulation:
 
         Because the oracle answers deterministically within a time
         bucket, the whole bootstrap is one consistent-predicate overlay:
-        a single batched ``evaluate_all`` over the population, with edges
-        to offline candidates masked out, materialized as an
-        :class:`~repro.overlays.graphs.OverlayGraph` whose CSR rows feed
-        each node's columnar
-        :meth:`~repro.core.membership.MembershipTable.upsert_many`
-        directly — identities, availabilities, and digests are all
-        fancy-indexed array slices, so no per-edge Python remains
-        anywhere on the install path.
+        a single batched row-space ``evaluate_all_rows`` over the
+        population (``settings.overlay_method`` selects exhaustive vs
+        candidate-generated construction — both produce the identical
+        overlay), with edges to offline candidates masked out,
+        materialized as an :class:`~repro.overlays.graphs.OverlayGraph`
+        whose CSR rows feed each node's row-keyed
+        :meth:`~repro.core.membership.MembershipTable.upsert_rows`
+        directly — no identity objects and no per-edge Python anywhere
+        on the install path.
         """
-        online = set(self.online_ids())
-        ids = self.node_ids
-        avs = np.array([self.oracle.query(node) for node in ids], dtype=float)
-        src, dst, horizontal = self.predicate.evaluate_all(ids, avs)
-        online_mask = np.fromiter(
-            (node in online for node in ids), dtype=bool, count=len(ids)
+        pop = self.population.with_availabilities(
+            np.array([self.oracle.query(node) for node in self.node_ids], dtype=float)
         )
+        avs = pop.availabilities
+        src, dst, horizontal = self.predicate.evaluate_all_rows(
+            pop.digests, avs, method=self.settings.overlay_method
+        )
+        # Trace order is population row order, so the timeline's presence
+        # mask is already row-aligned.
+        online_mask = self.trace.timeline.online_mask(self.sim.now)
         keep = online_mask[dst]
-        overlay = OverlayGraph(ids, avs, src[keep], dst[keep], horizontal[keep])
-        id_arr, digests = overlay.id_array, overlay.digest64_array
-        for i, node_id in enumerate(ids):
+        overlay = OverlayGraph(
+            None, None, src[keep], dst[keep], horizontal[keep], population=pop
+        )
+        for i, node_id in enumerate(self.node_ids):
             node = self.nodes[node_id]
             # Prime the node's own availability cache with the service's
             # current answer, then install its row of predicate matches.
             node.availability.fetch(node_id)
             neighbors, row_horizontal = overlay.row(i)
-            node.install_members(
-                id_arr[neighbors], avs[neighbors], row_horizontal,
-                digests=digests[neighbors],
-            )
+            node.install_member_rows(neighbors, avs[neighbors], row_horizontal)
 
     # ------------------------------------------------------------------
     # Operation helpers
@@ -428,15 +451,32 @@ class AvmemSimulation:
             return TargetSpec.range(*target)
         return TargetSpec.threshold(float(target))
 
+    def band_initiator_rows(self, band: str) -> np.ndarray:
+        """Population rows of the online nodes whose true availability
+        lies in ``band`` right now, in trace (= row) order.
+
+        The object-free form of :meth:`band_initiator_candidates`: one
+        timeline presence pass plus one availability pass, no NodeId
+        materialization — what the plan runner caches per launch instant.
+        """
+        InitiatorBand.validate(band)
+        now = self.sim.now
+        timeline = self.trace.timeline
+        rows = np.flatnonzero(timeline.online_mask(now))
+        if not rows.size:
+            return rows
+        keep = InitiatorBand.contains_array(
+            band, timeline.availability_array(rows, now)
+        )
+        return rows[keep]
+
     def band_initiator_candidates(self, band: str) -> List[NodeId]:
         """Online nodes whose true availability lies in ``band`` right
         now, in trace order — the list the scalar loop over
         :meth:`online_ids` produced, from one vectorized row-space
         pass."""
-        InitiatorBand.validate(band)
-        return self._online_truth_filter(
-            lambda avs: InitiatorBand.contains_array(band, avs)
-        )
+        order = self.trace.nodes
+        return [order[i] for i in self.band_initiator_rows(band)]
 
     def pick_initiator(
         self, band: str, rng: Optional[np.random.Generator] = None

@@ -1,0 +1,45 @@
+"""Optional ``np.memmap`` spill storage for large flat arrays.
+
+A 1M-node run carries array payloads that need not live in RAM — the
+overlay CSR (~10^8 edges ≈ 1.7 GB of edge columns) and the churn
+timeline's session arrays.  :func:`spill` copies an array into an
+``.npy``-formatted memmap inside a storage directory and returns the
+mapped view, letting the OS page it in and out; :func:`open_array` maps
+an existing spill back.  The ``.npy`` container (via
+``np.lib.format.open_memmap``) keeps the files self-describing — plain
+``np.load`` reads them too.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["spill", "open_array", "array_path"]
+
+
+def array_path(directory: str, name: str) -> str:
+    return os.path.join(directory, f"{name}.npy")
+
+
+def spill(array: np.ndarray, directory: Optional[str], name: str) -> np.ndarray:
+    """Copy ``array`` into ``directory/name.npy`` as a memmap and return
+    the mapped view; with ``directory=None`` this is the identity (the
+    in-RAM array passes through), so call sites need no branching."""
+    if directory is None:
+        return array
+    os.makedirs(directory, exist_ok=True)
+    array = np.ascontiguousarray(array)
+    mapped = np.lib.format.open_memmap(
+        array_path(directory, name), mode="w+", dtype=array.dtype, shape=array.shape
+    )
+    mapped[...] = array
+    mapped.flush()
+    return mapped
+
+
+def open_array(directory: str, name: str, mode: str = "r") -> np.ndarray:
+    """Map a previously spilled array back (read-only by default)."""
+    return np.lib.format.open_memmap(array_path(directory, name), mode=mode)
