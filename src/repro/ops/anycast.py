@@ -61,6 +61,31 @@ class ForwardingPolicy(abc.ABC):
     ) -> List[NodeId]:
         """Candidate next-hops, best first; excluded nodes are omitted."""
 
+    def order_candidates_arrays(
+        self,
+        nodes: np.ndarray,
+        availabilities: np.ndarray,
+        target: TargetSpec,
+        ttl_remaining: int,
+        rng: np.random.Generator,
+        exclude_digests: np.ndarray,
+        digests: np.ndarray,
+    ) -> List[NodeId]:
+        """Columnar :meth:`order_candidates` over parallel neighbor arrays.
+
+        ``nodes``/``availabilities``/``digests`` are parallel slices of a
+        :class:`~repro.core.membership.NeighborView` in listing order (the
+        ``entries()`` order), with exclusion expressed as a ``uint64``
+        digest array.  Consumes the rng stream *identically* to the
+        per-entry path — shuffles and tie-break draws land in the same
+        order — so wavefront and per-hop dispatch stay record-identical
+        (property-tested in ``tests/test_dispatch.py``).
+        """
+        ordered, _ = _greedy_order_arrays(
+            nodes, availabilities, digests, target, rng, exclude_digests
+        )
+        return ordered
+
 
 def _greedy_order(
     entries: Sequence[MemberEntry],
@@ -84,6 +109,48 @@ def _greedy_order(
     keyed = [(d, float(rng.random()), node) for d, node in outside]
     keyed.sort(key=lambda item: (item[0], item[1]))
     return in_range + [node for _, _, node in keyed]
+
+
+def _greedy_order_arrays(
+    nodes: np.ndarray,
+    availabilities: np.ndarray,
+    digests: np.ndarray,
+    target: TargetSpec,
+    rng: np.random.Generator,
+    exclude_digests: np.ndarray,
+) -> tuple:
+    """Columnar :func:`_greedy_order`; returns ``(ordered, first_delta)``.
+
+    ``first_delta`` is the greedy best's distance to the range (0.0 when
+    an in-range candidate exists, or when there are no candidates) — the
+    annealing temperature input, computed here so the policy needn't
+    re-derive it from entry objects.
+
+    RNG parity with the scalar path holds draw for draw: shuffling a
+    list of the in-range candidates consumes exactly what shuffling the
+    scalar path's list does (equal length), and one ``rng.random(k)``
+    vector draw consumes exactly like ``k`` scalar ``rng.random()``
+    calls in listing order.  The outside sort is a stable lexsort on
+    (distance, tiebreak), matching the scalar stable tuple sort.
+    """
+    if exclude_digests.size:
+        keep = ~np.isin(digests, exclude_digests)
+        nodes = nodes[keep]
+        availabilities = availabilities[keep]
+    distances = target.distance_array(availabilities)
+    in_sel = distances == 0.0
+    in_range = list(nodes[in_sel])
+    rng.shuffle(in_range)
+    out_idx = np.flatnonzero(~in_sel)
+    tiebreak = rng.random(out_idx.size)
+    out_dist = distances[out_idx]
+    order = np.lexsort((tiebreak, out_dist))
+    ordered = in_range + list(nodes[out_idx[order]])
+    if in_range or not order.size:
+        first_delta = 0.0
+    else:
+        first_delta = float(out_dist[order[0]])
+    return ordered, first_delta
 
 
 class GreedyPolicy(ForwardingPolicy):
@@ -137,6 +204,25 @@ class AnnealingPolicy(ForwardingPolicy):
         delta = target.distance(by_node[ordered[0]].availability)
         if delta == 0.0:
             return ordered  # greedy best already in range: deliver
+        if rng.random() < self.acceptance_probability(delta, ttl_remaining):
+            pick = 1 + int(rng.integers(len(ordered) - 1))
+            ordered[0], ordered[pick] = ordered[pick], ordered[0]
+        return ordered
+
+    def order_candidates_arrays(
+        self, nodes, availabilities, target, ttl_remaining, rng, exclude_digests, digests
+    ):
+        ordered, delta = _greedy_order_arrays(
+            nodes, availabilities, digests, target, rng, exclude_digests
+        )
+        # Same decision sequence (and rng draws) as the entry-list path:
+        # the length guard and the in-range short-circuit both precede
+        # any randomness, so the acceptance draw happens iff it would
+        # have scalar-side.
+        if len(ordered) < 2:
+            return ordered
+        if delta == 0.0:
+            return ordered
         if rng.random() < self.acceptance_probability(delta, ttl_remaining):
             pick = 1 + int(rng.integers(len(ordered) - 1))
             ordered[0], ordered[pick] = ordered[pick], ordered[0]

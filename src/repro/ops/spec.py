@@ -76,6 +76,21 @@ class TargetSpec:
         the edge of the region (0 inside)."""
         return point_to_interval_distance(availability, (self.lo, self.hi))
 
+    def distance_array(self, availabilities) -> "np.ndarray":
+        """Vectorized :meth:`distance` over an availability array.
+
+        Mirrors :func:`~repro.util.mathx.point_to_interval_distance`
+        branch for branch (``lo - x`` below, ``x - hi`` above, 0 inside)
+        so columnar candidate ordering sees bit-identical distances to
+        the scalar path.
+        """
+        values = np.asarray(availabilities, dtype=float)
+        return np.where(
+            values < self.lo,
+            self.lo - values,
+            np.where(values > self.hi, values - self.hi, 0.0),
+        )
+
     def describe(self) -> str:
         if self.kind == "threshold":
             return f"av > {self.lo:g}"

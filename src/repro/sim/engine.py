@@ -154,6 +154,16 @@ class Simulator:
         heapq.heappush(self._queue, _HeapEntry(event.time, next(self._counter), event))
         return event
 
+    def defer(self, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at the *current* instant.
+
+        The event fires after every already-queued event at this time
+        (equal-time events tie-break by scheduling order) — the hook the
+        wavefront dispatcher uses to coalesce all work arriving at one
+        simulated instant into a single flush.
+        """
+        return self.schedule_at(self._now, callback, *args)
+
     def schedule_at_many(
         self,
         times: Sequence[float],

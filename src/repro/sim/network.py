@@ -164,6 +164,11 @@ class Network:
         )
         self.stats = NetworkStats()
         self._handlers: Dict[NodeKey, Handler] = {}
+        #: optional (begin, end) callbacks bracketing every multi-message
+        #: delivery cohort — the operation engine hangs its wavefront
+        #: hold/release here so all receptions at one simulated instant
+        #: dispatch their forwards as a single cohort.
+        self.cohort_hooks: Optional["tuple[Callable[[], None], Callable[[], None]]"] = None
 
     # ------------------------------------------------------------------
     # Registration
@@ -228,26 +233,72 @@ class Network:
         of messages put on the wire (0 when the sender is offline — no
         latency is drawn, matching the scalar path).
         """
+        sent, _ = self.send_batch_suppressing(src, dsts, payload, None)
+        return sent
+
+    def send_batch_suppressing(
+        self,
+        src: NodeKey,
+        dsts: Sequence[NodeKey],
+        payload: Any,
+        suppress: Optional[np.ndarray],
+    ) -> "tuple[int, int]":
+        """:meth:`send_batch` with a per-destination suppression mask.
+
+        ``suppress[k]`` marks a destination whose reception is already
+        known to be a no-op for the protocol (e.g. a multicast duplicate:
+        the seen-set only grows, so seen-at-send implies seen-at-arrival).
+        A suppressed message is accounted exactly as if it had traveled —
+        its latency draw still happens in ``dsts`` order (stream parity
+        with the per-hop path), an offline-at-arrival destination still
+        records ``DST_OFFLINE``, a missing handler still records
+        ``NO_HANDLER``, and an otherwise-deliverable one still counts in
+        ``stats.delivered`` — but **no simulator event is scheduled** for
+        it.  Returns ``(on_wire, suppressed_delivered)`` where the second
+        element is how many suppressed messages would have reached their
+        handler (the caller credits those as duplicate receptions).
+
+        On the scalar fallback (``batched`` off or cohort below the
+        threshold) every message is sent normally and
+        ``suppressed_delivered`` is 0 — the receiver-side seen-set check
+        then accounts the duplicates, so totals agree on both paths.
+        """
         n = len(dsts)
         if n == 0:
-            return 0
+            return 0, 0
         if not self.batched or n < self.batch_threshold:
             sent = 0
             for dst in dsts:
                 sent += bool(self.send(src, dst, payload))
-            return sent
+            return sent, 0
         now = self.sim.now
         if self.check_sender and not self.presence.is_online(src, now):
             self.stats.record_drop(DropReason.SRC_OFFLINE, count=n)
-            return 0
+            return 0, 0
         self.stats.sent += n
         arrivals = now + self.latency.sample_array(self.rng, n)
         online = self._presence_array(dsts, arrivals)
-        live = np.flatnonzero(online)
-        if live.size < n:
-            self.stats.record_drop(DropReason.DST_OFFLINE, count=n - live.size)
+        offline_count = int(n - np.count_nonzero(online))
+        if offline_count:
+            self.stats.record_drop(DropReason.DST_OFFLINE, count=offline_count)
+        if suppress is not None:
+            deliver_mask = online & ~suppress
+            suppressed_live = np.flatnonzero(online & suppress)
+            suppressed_delivered = 0
+            for i in suppressed_live.tolist():
+                # Handler resolution mirrors delivery time: a detached
+                # destination drops exactly as _deliver_batch would.
+                if dsts[i] in self._handlers:
+                    self.stats.delivered += 1
+                    suppressed_delivered += 1
+                else:
+                    self.stats.record_drop(DropReason.NO_HANDLER)
+        else:
+            deliver_mask = online
+            suppressed_delivered = 0
+        live = np.flatnonzero(deliver_mask)
         if not live.size:
-            return n
+            return n, suppressed_delivered
         live_times = arrivals[live]
         # Unique arrival times define the cohorts; walking the live
         # indices in send order keeps each cohort's envelope list in the
@@ -270,7 +321,81 @@ class Network:
             self._deliver_batch,
             [(cohort,) for cohort in cohorts],
         )
-        return n
+        return n, suppressed_delivered
+
+    def send_many(
+        self, items: Sequence["tuple[NodeKey, NodeKey, Any]"]
+    ) -> List[bool]:
+        """Dispatch a heterogeneous cohort of ``(src, dst, payload)`` sends.
+
+        The wavefront sibling of :meth:`send_batch`: one vectorized
+        sender-presence query at the current instant, one latency draw
+        for the live-sender messages (in item order — an offline sender
+        draws nothing, exactly like scalar :meth:`send`), one batched
+        destination-presence query at the per-message arrival instants,
+        and one simulator event per arrival-time cohort.  Returns the
+        per-item on-wire flags (``False`` ⇔ the sender was offline), in
+        item order — callers arm ack timeouts only for wired items, as
+        they would off scalar :meth:`send` return values.
+
+        Degrades to a loop of scalar sends when ``batched`` is off or the
+        cohort is below the threshold; both paths consume the latency
+        stream identically and deliver in the same order.
+        """
+        n = len(items)
+        wired = [False] * n
+        if n == 0:
+            return wired
+        if not self.batched or n < self.batch_threshold:
+            for k, (src, dst, payload) in enumerate(items):
+                wired[k] = self.send(src, dst, payload)
+            return wired
+        now = self.sim.now
+        if self.check_sender:
+            src_online = self._presence_array([item[0] for item in items], now)
+        else:
+            src_online = np.ones(n, dtype=bool)
+        live_src = np.flatnonzero(src_online)
+        if live_src.size < n:
+            self.stats.record_drop(
+                DropReason.SRC_OFFLINE, count=int(n - live_src.size)
+            )
+        if not live_src.size:
+            return wired
+        m = int(live_src.size)
+        self.stats.sent += m
+        arrivals = now + self.latency.sample_array(self.rng, m)
+        live_items = [items[int(i)] for i in live_src]
+        for i in live_src.tolist():
+            wired[i] = True
+        online = self._presence_array([item[1] for item in live_items], arrivals)
+        deliverable = np.flatnonzero(online)
+        if deliverable.size < m:
+            self.stats.record_drop(
+                DropReason.DST_OFFLINE, count=int(m - deliverable.size)
+            )
+        if not deliverable.size:
+            return wired
+        live_times = arrivals[deliverable]
+        unique_times, inverse = np.unique(live_times, return_inverse=True)
+        cohorts: List[List[Envelope]] = [[] for _ in range(unique_times.size)]
+        for k, j in zip(inverse.tolist(), deliverable.tolist()):
+            src, dst, payload = live_items[j]
+            cohorts[k].append(
+                Envelope(
+                    src=src,
+                    dst=dst,
+                    payload=payload,
+                    sent_at=now,
+                    delivered_at=float(arrivals[j]),
+                )
+            )
+        self.sim.schedule_at_many(
+            unique_times.tolist(),
+            self._deliver_batch,
+            [(cohort,) for cohort in cohorts],
+        )
+        return wired
 
     def is_online(self, node: NodeKey) -> bool:
         """Convenience: is ``node`` online right now?"""
@@ -319,16 +444,28 @@ class Network:
         time; handlers are still resolved here, at fire time, so a node
         detached mid-flight drops its messages exactly as the per-hop
         path would.
+
+        Multi-message cohorts are bracketed by :attr:`cohort_hooks` when
+        set: everything the handlers enqueue at this instant (anycast
+        forwards, flood fan-outs) flushes as one wavefront after the
+        last reception.
         """
         handlers = self._handlers
         stats = self.stats
-        for envelope in envelopes:
-            handler = handlers.get(envelope.dst)
-            if handler is None:
-                stats.record_drop(DropReason.NO_HANDLER)
-                continue
-            stats.delivered += 1
-            handler(envelope)
+        hooks = self.cohort_hooks if len(envelopes) > 1 else None
+        if hooks is not None:
+            hooks[0]()
+        try:
+            for envelope in envelopes:
+                handler = handlers.get(envelope.dst)
+                if handler is None:
+                    stats.record_drop(DropReason.NO_HANDLER)
+                    continue
+                stats.delivered += 1
+                handler(envelope)
+        finally:
+            if hooks is not None:
+                hooks[1]()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

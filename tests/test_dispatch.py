@@ -254,9 +254,10 @@ def build_sim(seed: int, dispatch: str) -> AvmemSimulation:
         )
     )
     # Force every cohort through the vector path: at 70 hosts the fan-out
-    # cohorts are small and the production threshold would route them to
-    # the scalar loop, sidestepping the code under test.
+    # cohorts are small and the production thresholds would route them to
+    # the scalar loops, sidestepping the code under test.
     simulation.network.batch_threshold = 1
+    simulation.engine.GOSSIP_COLUMNAR_MIN = 0
     simulation.setup(warmup=7200.0, settle=600.0)
     return simulation
 
@@ -362,3 +363,431 @@ class TestDispatchRecordParity:
                 if InitiatorBand.contains(band, simulation.true_availability(node))
             ]
             assert simulation.band_initiator_candidates(band) == want
+
+
+# ----------------------------------------------------------------------
+# send_many: heterogeneous wavefront cohorts
+# ----------------------------------------------------------------------
+class TestSendMany:
+    ITEMS = [
+        ("a", "b", "p0"),
+        ("ghost", "c", "p1"),  # offline sender: wired False, no draw
+        ("b", "d", "p2"),
+        ("c", "gone", "p3"),  # destination never online: dropped at send
+        ("d", "a", "p4"),
+    ]
+    WINDOWS = {
+        "a": [(0, 100)], "b": [(0, 100)], "c": [(0, 100)], "d": [(0, 100)],
+    }
+
+    def run_one(self, batched, batch_threshold=1):
+        sim = Simulator()
+        net, inbox = recording_network(
+            sim, UniformLatency(0.02, 0.08),
+            presence=ScriptedPresence(self.WINDOWS), batched=batched,
+            batch_threshold=batch_threshold,
+        )
+        wired = net.send_many(self.ITEMS)
+        state = net.rng.bit_generator.state
+        sim.run()
+        return wired, net.stats.snapshot(), inbox, state
+
+    def test_matches_sequential_sends(self):
+        """One send_many call is indistinguishable from a loop of scalar
+        sends: same wired flags, accounting totals, delivery order and
+        instants, and the same latency-stream position afterwards."""
+        got = self.run_one(batched=True)
+        want = self.run_one(batched=False)
+        assert got == want
+
+    def test_threshold_routes_small_cohorts_to_scalar(self):
+        got = self.run_one(batched=True, batch_threshold=50)
+        want = self.run_one(batched=False)
+        assert got == want
+
+    def test_offline_sender_consumes_no_latency_draws(self, sim):
+        """An offline sender's item draws nothing — the stream position
+        afterwards equals two scalar draws, not three."""
+        net, _ = recording_network(
+            sim, UniformLatency(0.02, 0.08),
+            presence=ScriptedPresence(self.WINDOWS),
+        )
+        reference = np.random.default_rng(42)  # recording_network's seed
+        UniformLatency(0.02, 0.08).sample_array(reference, 2)
+        wired = net.send_many([("a", "b", 1), ("ghost", "c", 2), ("b", "d", 3)])
+        assert wired == [True, False, True]
+        assert net.stats.sent == 2
+        assert net.stats.dropped[DropReason.SRC_OFFLINE] == 1
+        assert net.rng.bit_generator.state == reference.bit_generator.state
+
+    def test_heterogeneous_payloads_deliver_to_own_destinations(self, sim):
+        net, inbox = recording_network(sim, ConstantLatency(0.05))
+        payloads = {}
+        for node in ("a", "b", "c", "d"):
+            net.detach(node)
+            net.attach(node, lambda env, n=node: payloads.setdefault(n, env.payload))
+        net.send_many([("a", "b", "for-b"), ("b", "c", "for-c"), ("c", "d", "for-d")])
+        before = sim.events_processed
+        sim.run()
+        # Equal arrival instants collapse the whole wavefront into one
+        # cohort event.
+        assert sim.events_processed - before == 1
+        assert payloads == {"b": "for-b", "c": "for-c", "d": "for-d"}
+
+    def test_empty_is_noop(self, sim):
+        net, _ = recording_network(sim, UniformLatency())
+        assert net.send_many([]) == []
+        assert net.stats.sent == 0
+
+
+# ----------------------------------------------------------------------
+# Dispatch-layer duplicate suppression
+# ----------------------------------------------------------------------
+class TestSendBatchSuppressing:
+    def test_suppressed_delivers_without_event(self, sim):
+        """A suppressed destination is credited delivered but no
+        simulator event is scheduled for it."""
+        net, inbox = recording_network(sim, ConstantLatency(0.05))
+        on_wire, dup = net.send_batch_suppressing(
+            "a", ["b", "c"], "x", np.array([False, True])
+        )
+        assert (on_wire, dup) == (2, 1)
+        assert net.stats.sent == 2
+        assert net.stats.delivered == 1  # the suppressed one, pre-credited
+        sim.run()
+        assert inbox == [("b", 0.05)]  # only the unsuppressed traveled
+        assert net.stats.delivered == 2
+
+    def test_suppressed_offline_destination_counts_as_drop(self, sim):
+        """Suppression still answers presence at the arrival instant: an
+        offline duplicate is a DST_OFFLINE drop, not a reception."""
+        windows = {"a": [(0, 100)], "b": [(0, 100)], "c": [(0.0, 0.02)]}
+        net, inbox = recording_network(
+            sim, ConstantLatency(0.05), presence=ScriptedPresence(windows)
+        )
+        on_wire, dup = net.send_batch_suppressing(
+            "a", ["b", "c"], "x", np.array([False, True])
+        )
+        assert (on_wire, dup) == (2, 0)
+        assert net.stats.dropped[DropReason.DST_OFFLINE] == 1
+        sim.run()
+        assert inbox == [("b", 0.05)]
+
+    def test_suppressed_detached_destination_is_no_handler(self, sim):
+        net, _ = recording_network(sim, ConstantLatency(0.05), nodes=("a", "b"))
+        on_wire, dup = net.send_batch_suppressing(
+            "a", ["b", "zz"], "x", np.array([False, True])
+        )
+        assert (on_wire, dup) == (2, 0)
+        assert net.stats.dropped[DropReason.NO_HANDLER] == 1
+
+    def test_latency_stream_unchanged_by_suppression(self):
+        """The suppression mask must not perturb the latency draws — the
+        stream position matches an unsuppressed batch of equal size."""
+        states = []
+        for suppress in (None, np.array([False, True, True])):
+            sim = Simulator()
+            net, _ = recording_network(sim, UniformLatency(0.02, 0.08))
+            net.send_batch_suppressing("a", ["b", "c", "d"], "x", suppress)
+            states.append(net.rng.bit_generator.state)
+        assert states[0] == states[1]
+
+    def test_scalar_fallback_suppresses_nothing(self, sim):
+        """Below the batch threshold (or with batching off) duplicates
+        travel and are accounted at reception, exactly per-hop."""
+        net, inbox = recording_network(
+            sim, ConstantLatency(0.05), batch_threshold=50
+        )
+        on_wire, dup = net.send_batch_suppressing(
+            "a", ["b", "c"], "x", np.array([True, True])
+        )
+        assert (on_wire, dup) == (2, 0)
+        sim.run()
+        assert len(inbox) == 2
+
+
+# ----------------------------------------------------------------------
+# Columnar candidate ordering: identical lists, identical rng streams
+# ----------------------------------------------------------------------
+class TestColumnarOrderingStreamParity:
+    """The likeliest silent parity killer is the ``"ops"`` stream
+    diverging between the per-entry and columnar ordering paths — one
+    extra (or missing) draw desynchronizes every later decision.  These
+    property tests pin both the outputs and the exact generator state
+    after ordering, for all three policies — including the annealing
+    acceptance-probability draw."""
+
+    @pytest.mark.parametrize("policy_name", ["greedy", "retry-greedy", "anneal"])
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(0, 24),
+        ttl=st.integers(1, 12),
+        lo=st.floats(0.1, 0.6),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_arrays_match_entries_and_stream_position(
+        self, policy_name, seed, n, ttl, lo, data
+    ):
+        from repro.core.membership import MemberEntry, SliverKind
+        from repro.ops.anycast import make_policy
+
+        ids = make_node_ids(n) if n else []
+        # Coarse availability grid so equal distances (the tiebreak-draw
+        # path) actually occur.
+        avs = [
+            data.draw(st.sampled_from([0.05, 0.2, lo, 0.7, 0.7, 0.9]))
+            for _ in range(n)
+        ]
+        excluded = [i for i in range(n) if data.draw(st.booleans())]
+        target = TargetSpec.range(lo, min(lo + 0.2, 1.0))
+        entries = [
+            MemberEntry(node, av, SliverKind.HORIZONTAL, 0.0, 0.0)
+            for node, av in zip(ids, avs)
+        ]
+        nodes_arr = np.empty(n, dtype=object)
+        nodes_arr[:] = ids
+        avs_arr = np.array(avs, dtype=float)
+        digests = np.fromiter((i.digest64 for i in ids), dtype=np.uint64, count=n)
+        exclude_digests = np.fromiter(
+            (ids[i].digest64 for i in excluded), dtype=np.uint64, count=len(excluded)
+        )
+        policy = make_policy(policy_name)
+        rng_entries = np.random.default_rng(seed)
+        rng_arrays = np.random.default_rng(seed)
+        want = policy.order_candidates(
+            entries, target, ttl, rng_entries, {ids[i] for i in excluded}
+        )
+        got = policy.order_candidates_arrays(
+            nodes_arr, avs_arr, target, ttl, rng_arrays, exclude_digests, digests
+        )
+        assert got == want
+        assert rng_arrays.bit_generator.state == rng_entries.bit_generator.state
+
+    def test_annealing_acceptance_draw_happens_iff_scalar_draws(self):
+        """Deterministic spot check of the annealing decision sequence:
+        no draw for in-range bests or single candidates, exactly one
+        acceptance draw (plus maybe a swap pick) otherwise."""
+        from repro.core.membership import MemberEntry, SliverKind
+        from repro.ops.anycast import AnnealingPolicy
+
+        ids = make_node_ids(3)
+        target = TargetSpec.range(0.8, 0.9)
+        policy = AnnealingPolicy()
+
+        def order(avs, seed=5):
+            n = len(avs)
+            nodes_arr = np.empty(n, dtype=object)
+            nodes_arr[:] = ids[:n]
+            digests = np.fromiter(
+                (i.digest64 for i in ids[:n]), dtype=np.uint64, count=n
+            )
+            rng = np.random.default_rng(seed)
+            out = policy.order_candidates_arrays(
+                nodes_arr, np.array(avs), target, 6, rng,
+                np.zeros(0, dtype=np.uint64), digests,
+            )
+            return out, rng
+
+        # All outside the range: the acceptance draw runs -> stream moved
+        # beyond the two tiebreak draws.
+        _, rng_explore = order([0.1, 0.2])
+        reference = np.random.default_rng(5)
+        reference.random(2)  # tiebreaks only
+        assert rng_explore.bit_generator.state != reference.bit_generator.state
+        # Greedy best in range: no acceptance draw (shuffle of the single
+        # in-range candidate + one outside tiebreak draw).
+        _, rng_exploit = order([0.85, 0.2])
+        reference = np.random.default_rng(5)
+        reference.shuffle([ids[0]])
+        reference.random(1)
+        assert rng_exploit.bit_generator.state == reference.bit_generator.state
+
+
+# ----------------------------------------------------------------------
+# Wavefront cohorts: end-to-end record parity across policies × timings
+# ----------------------------------------------------------------------
+WAVEFRONT_TIMINGS = {
+    # All launch offsets phase just before the trace's 1200 s churn
+    # boundaries (setup ends on one) so in-flight hops and 0.5 s ack
+    # timeouts straddle presence flips.
+    "batch": OperationTiming(mode="batch", phase=1199.8),
+    "interval": OperationTiming(mode="interval", spacing=299.95, phase=1199.8),
+    "poisson": OperationTiming(mode="poisson", rate=1.0 / 240.0, phase=1199.8),
+}
+
+
+def wavefront_plan(policy: str, timing_name: str, mode: str) -> OperationPlan:
+    timing = WAVEFRONT_TIMINGS[timing_name]
+    anycasts = OperationItem(
+        kind="anycast", target=TargetSpec.range(0.5, 0.9), count=10,
+        policy=policy, timing=timing,
+    )
+    # High-band initiators chasing a low target: long walks with ack
+    # timeouts and retries interleaved into the same wavefronts.
+    retried = OperationItem(
+        kind="anycast", target=TargetSpec.range(0.05, 0.25), count=6,
+        band="high", policy="retry-greedy", retry=2, timing=timing,
+    )
+    # Multicasts share the launch instants so stage-2 floods mix with
+    # anycast forwards inside one cohort flush.
+    multicasts = OperationItem(
+        kind="multicast", target=TargetSpec.range(0.4, 0.8), count=2,
+        band="high", mode=mode, policy=policy, timing=timing,
+    )
+    return OperationPlan(items=(anycasts, retried, multicasts), settle=40.0)
+
+
+class TestWavefrontRecordParity:
+    """The tentpole correctness bar: wavefront-batched dispatch (launch
+    cohorts held by the runner, delivery cohorts bracketed by the network
+    hooks, columnar candidate ordering, dispatch-layer duplicate
+    suppression) is record-identical to per-hop dispatch on seeded runs."""
+
+    @given(
+        seed=st.integers(0, 2**16),
+        policy=st.sampled_from(["greedy", "retry-greedy", "anneal"]),
+        timing_name=st.sampled_from(sorted(WAVEFRONT_TIMINGS)),
+        mode=st.sampled_from(["flood", "gossip"]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_wavefront_matches_per_hop(self, seed, policy, timing_name, mode):
+        batched = build_sim(seed, "batch")
+        per_hop = build_sim(seed, "per-hop")
+        plan = wavefront_plan(policy, timing_name, mode)
+        got = batched.ops.execute(plan)
+        want = per_hop.ops.execute(plan)
+        assert len(got.records) == len(want.records)
+        for new, old in zip(got.records, want.records):
+            assert record_fields(new) == record_fields(old)
+        assert batched.network.stats.snapshot() == per_hop.network.stats.snapshot()
+        # Reception bookkeeping agrees even though batch mode suppresses
+        # duplicate hand-offs at the dispatch layer.
+        assert batched.engine._mcast_seen == per_hop.engine._mcast_seen
+
+
+# ----------------------------------------------------------------------
+# Duplicate suppression: accounting parity, fewer handler invocations
+# ----------------------------------------------------------------------
+def run_suppression_probe(dispatch: str, mode: str, seed: int = 11):
+    """Execute a duplicate-heavy multicast plan with every handler
+    wrapped to count :class:`MulticastMessage` hand-offs."""
+    from repro.ops.messages import MulticastMessage
+
+    simulation = build_sim(seed, dispatch)
+    counts = {"multicast_envelopes": 0}
+    for node in list(simulation.network._handlers):
+        original = simulation.network._handlers[node]
+
+        def wrapped(envelope, _original=original):
+            if isinstance(envelope.payload, MulticastMessage):
+                counts["multicast_envelopes"] += 1
+            _original(envelope)
+
+        simulation.network._handlers[node] = wrapped
+    plan = OperationPlan(
+        items=(
+            OperationItem(
+                kind="multicast", target=TargetSpec.range(0.4, 0.9), count=2,
+                band="high", mode=mode,
+                timing=OperationTiming(mode="batch", phase=1199.8),
+            ),
+        ),
+        settle=40.0,
+    )
+    execution = simulation.ops.execute(plan)
+    return simulation, execution, counts["multicast_envelopes"]
+
+
+class TestDuplicateSuppression:
+    """Seen-at-send duplicates are absorbed at the dispatch layer — the
+    envelope never becomes a simulator event — while every tally
+    (``duplicate_receptions``, ``_mcast_seen``, network stats) stays
+    identical to per-hop dispatch, where duplicates travel and are
+    counted at reception.  The strict handler-invocation inequality
+    fails on the pre-suppression tree (both modes delivered every
+    duplicate envelope)."""
+
+    @pytest.mark.parametrize("mode", ["flood", "gossip"])
+    def test_suppression_preserves_tallies_and_skips_handoffs(self, mode):
+        batched, got, batched_envelopes = run_suppression_probe("batch", mode)
+        per_hop, want, per_hop_envelopes = run_suppression_probe("per-hop", mode)
+        for new, old in zip(got.records, want.records):
+            assert record_fields(new) == record_fields(old)
+        duplicates = sum(r.duplicate_receptions for r in want.launched)
+        assert duplicates > 0  # the plan actually provokes duplicates
+        # _mcast_seen growth is identical: suppression consults the seen
+        # set but reception membership is unchanged.
+        assert batched.engine._mcast_seen == per_hop.engine._mcast_seen
+        assert batched.network.stats.snapshot() == per_hop.network.stats.snapshot()
+        # The point of the seen-mask: duplicate envelopes seen at send
+        # time never reach a handler in batch mode.
+        assert batched_envelopes < per_hop_envelopes
+        assert per_hop_envelopes - batched_envelopes <= duplicates
+
+
+# ----------------------------------------------------------------------
+# Status races survive the vector path (PR 5 fix under the seen-mask move)
+# ----------------------------------------------------------------------
+class TestStatusRaceUnderVectorDispatch:
+    """The DELIVERY_OVERRIDABLE fix (a premature NO_NEIGHBOR /
+    RETRY_EXPIRED verdict yields to a genuine delivery by a copy still
+    in flight) must survive wavefront dispatch: singleton flushes route
+    through ``send_many`` and acks/data through the batched presence
+    path once ``batch_threshold`` is 1."""
+
+    @staticmethod
+    def vector_system(avs, rng, latency, **kwargs):
+        from test_ops_engine import build_system
+
+        sim, network, nodes, engine, ids = build_system(
+            avs, rng=rng, latency=latency, **kwargs
+        )
+        assert network.batched
+        network.batch_threshold = 1  # force every cohort down the vector path
+        return sim, network, nodes, engine, ids
+
+    def test_delivery_overrides_no_neighbor(self, rng):
+        from repro.ops.results import AnycastStatus
+
+        sim, network, nodes, engine, ids = self.vector_system(
+            [0.5, 0.9], rng, ConstantLatency(1.0)
+        )
+        record = engine.anycast(
+            ids[0], TargetSpec.range(0.85, 0.95), policy="retry-greedy"
+        )
+        sim.run_until(0.75)
+        assert record.status == AnycastStatus.NO_NEIGHBOR
+        sim.run_until(5.0)
+        assert record.status == AnycastStatus.DELIVERED
+        assert record.delivery_node == ids[1]
+        assert record.delivered_at == pytest.approx(1.0)
+        assert record.retries_used == 0
+
+    def test_delivery_overrides_retry_expired(self, rng):
+        from repro.ops.results import AnycastStatus
+
+        sim, network, nodes, engine, ids = self.vector_system(
+            [0.5, 0.9, 0.8, 0.7], rng, ConstantLatency(1.2), offline={2, 3}
+        )
+        record = engine.anycast(
+            ids[0], TargetSpec.range(0.85, 0.95), policy="retry-greedy", retry=1
+        )
+        sim.run_until(1.1)
+        assert record.status == AnycastStatus.RETRY_EXPIRED
+        sim.run_until(5.0)
+        assert record.status == AnycastStatus.DELIVERED
+        assert record.retries_used == 1
+
+    def test_first_delivery_still_wins(self, rng):
+        from repro.ops.results import AnycastStatus
+
+        sim, network, nodes, engine, ids = self.vector_system(
+            [0.5, 0.9, 0.9], rng, ConstantLatency(1.2)
+        )
+        record = engine.anycast(
+            ids[0], TargetSpec.range(0.85, 0.95), policy="retry-greedy", retry=3
+        )
+        sim.run_until(5.0)
+        assert record.status == AnycastStatus.DELIVERED
+        assert record.delivered_at == pytest.approx(1.2)

@@ -67,3 +67,43 @@ class TestMulticastAccounting:
         # Each multicast shares its op id with its stage-1 anycast.
         op_id, record = max(s.engine.multicasts.items())
         assert record.anycast is s.engine.anycasts[op_id]
+
+
+class TestDuplicateSuppressionAccounting:
+    """Batched dispatch absorbs seen-at-send duplicates before they
+    become simulator events, pre-crediting ``delivered`` and
+    ``duplicate_receptions`` at send time.  The record-level accounting
+    identities must therefore hold exactly as if every duplicate had
+    traveled (which is what per-hop dispatch does)."""
+
+    def test_receptions_bounded_by_data_messages(self, small_simulation):
+        record = small_simulation.run_multicast(
+            (0.5, 0.9), initiator_band="high", mode="flood"
+        )
+        receptions = (
+            len(record.deliveries) + len(record.spam) + record.duplicate_receptions
+        )
+        # The root's self-acceptance is not a network reception, so it is
+        # excluded; every other (first or duplicate) reception consumed
+        # exactly one of the record's data messages.
+        assert receptions - 1 <= record.data_messages
+
+    def test_seen_set_is_exactly_first_receptions(self, small_simulation):
+        """``_mcast_seen`` (what the dispatch-layer mask consults) grows
+        by exactly the first receptions — deliveries plus spam — and
+        duplicates never enter it."""
+        s = small_simulation
+        record = s.run_multicast((0.5, 0.9), initiator_band="high", mode="flood")
+        seen = s.engine._mcast_seen[record.op_id]
+        assert seen == set(record.deliveries) | {node for node, _ in record.spam}
+
+    def test_gossip_duplicates_balance_too(self, small_simulation):
+        record = small_simulation.run_multicast(
+            (0.5, 0.9), initiator_band="high", mode="gossip"
+        )
+        receptions = (
+            len(record.deliveries) + len(record.spam) + record.duplicate_receptions
+        )
+        assert receptions - 1 <= record.data_messages
+        seen = small_simulation.engine._mcast_seen[record.op_id]
+        assert seen == set(record.deliveries) | {node for node, _ in record.spam}
