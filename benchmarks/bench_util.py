@@ -6,11 +6,18 @@ performance trajectory is tracked across PRs instead of living only in
 scrollback.  Records land in ``benchmarks/results/`` by default and
 carry enough environment metadata (python/numpy versions) to interpret
 regressions.
+
+Importing this module enables the process-wide telemetry recorder
+(:data:`repro.telemetry.TELEMETRY`) unless ``AVMEM_BENCH_TELEMETRY=0``,
+so every benchmark automatically collects the instrumented phase spans;
+:func:`emit_bench_json` embeds the resulting time-goes-where table under
+``"telemetry"`` in each BENCH JSON.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 from pathlib import Path
@@ -18,29 +25,15 @@ from typing import Optional
 
 import numpy as np
 
-try:
-    import resource
-except ImportError:  # pragma: no cover - non-POSIX platform
-    resource = None
+from repro.telemetry import TELEMETRY
+from repro.telemetry.rss import peak_rss_mb
 
 __all__ = ["emit_bench_json", "peak_rss_mb", "RESULTS_DIR"]
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
-
-def peak_rss_mb() -> Optional[float]:
-    """Peak resident set size of this process so far, in MiB.
-
-    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; returns None
-    where the ``resource`` module is unavailable (non-POSIX).  This is a
-    high-water mark — per-phase deltas need a subprocess per phase.
-    """
-    if resource is None:
-        return None
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    if sys.platform == "darwin":
-        return peak / (1024.0 * 1024.0)
-    return peak / 1024.0
+if os.environ.get("AVMEM_BENCH_TELEMETRY", "1") != "0":
+    TELEMETRY.enable(reset=True)
 
 
 def emit_bench_json(name: str, payload: dict, path: Optional[str] = None) -> Path:
@@ -48,7 +41,10 @@ def emit_bench_json(name: str, payload: dict, path: Optional[str] = None) -> Pat
 
     ``payload`` must be json-serializable; environment metadata — and the
     process's peak RSS in MiB, the memory-boundedness metric — is added
-    under ``"environment"``.  Returns the path written.
+    under ``"environment"``.  When the telemetry recorder is enabled and
+    has recorded spans, their phase breakdown (total/self seconds per
+    span path) is embedded under ``"telemetry"``.  Returns the path
+    written.
     """
     target = Path(path) if path is not None else RESULTS_DIR / f"BENCH_{name}.json"
     target.parent.mkdir(parents=True, exist_ok=True)
@@ -62,6 +58,14 @@ def emit_bench_json(name: str, payload: dict, path: Optional[str] = None) -> Pat
         },
         **payload,
     }
+    if TELEMETRY.enabled:
+        snapshot = TELEMETRY.snapshot()
+        breakdown = snapshot.phase_breakdown()
+        if breakdown:
+            record["telemetry"] = {
+                "wall_seconds": snapshot.wall_seconds,
+                "phases": breakdown,
+            }
     with open(target, "w", encoding="utf-8") as fh:
         json.dump(record, fh, indent=2, sort_keys=False)
         fh.write("\n")

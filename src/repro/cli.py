@@ -10,6 +10,9 @@
     avmem ops run --scale small --anycasts 10 --multicasts 3 \
         --target 0.6,0.9 --timing poisson --rate 0.05
     avmem ops run --scale small --plan plan.json --json log.json
+    avmem ops run --scale medium --telemetry tel.json --progress 10
+    avmem telemetry summarize tel.json
+    avmem telemetry summarize before.json after.json
 
 ``python -m repro`` is an alias for the ``avmem`` entry point.
 """
@@ -18,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -74,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", default=None,
         help="also write the metrics report as JSON",
     )
+    _add_telemetry_flags(scen_run)
     scen_smoke = scen_sub.add_parser(
         "smoke",
         help="compile+run every registered scenario (CI gate: any failure is fatal)",
@@ -133,6 +138,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--plan-out", metavar="PATH", default=None,
         help="also write the executed plan as JSON (a reusable --plan file)",
     )
+    _add_telemetry_flags(ops_run)
+
+    tel = sub.add_parser(
+        "telemetry", help="inspect telemetry snapshots recorded with --telemetry"
+    )
+    tel_sub = tel.add_subparsers(dest="telemetry_command", required=True)
+    tel_sum = tel_sub.add_parser(
+        "summarize", help="pretty-print one snapshot, or diff two (A B)"
+    )
+    tel_sum.add_argument(
+        "snapshots", nargs="+", metavar="SNAPSHOT",
+        help="telemetry snapshot JSON file(s); two files render as a diff",
+    )
     return parser
 
 
@@ -155,6 +173,48 @@ def _fig_key(figure_id: str) -> int:
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", choices=sorted(SCALES), default="small")
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="record run telemetry and write the snapshot as JSON "
+        "(render it with 'avmem telemetry summarize PATH')",
+    )
+    parser.add_argument(
+        "--progress", type=float, metavar="SECONDS", default=None,
+        help="emit a progress line to stderr every SECONDS wall-clock "
+        "seconds (implies telemetry recording)",
+    )
+
+
+def _telemetry_begin(args) -> bool:
+    """Enable the recorder when --telemetry/--progress was passed."""
+    if not (args.telemetry or args.progress is not None):
+        return False
+    from repro.telemetry import TELEMETRY, ProgressReporter
+
+    TELEMETRY.enable(reset=True)
+    if args.progress is not None:
+        TELEMETRY.attach_progress(ProgressReporter(interval=args.progress))
+    return True
+
+
+def _telemetry_end(args) -> None:
+    """Freeze, disable, and (when requested) export the snapshot."""
+    from repro.telemetry import TELEMETRY
+
+    snapshot = TELEMETRY.snapshot()
+    TELEMETRY.disable()
+    TELEMETRY.attach_progress(None)
+    if args.telemetry:
+        snapshot.to_json(args.telemetry)
+        coverage = snapshot.span_coverage()
+        pct = f"{100.0 * coverage:.1f}%" if coverage == coverage else "n/a"
+        print(
+            f"wrote {args.telemetry} "
+            f"(wall {snapshot.wall_seconds:.2f}s, span coverage {pct})"
+        )
 
 
 def _cmd_figure(args) -> int:
@@ -213,7 +273,18 @@ def _cmd_scenario(args) -> int:
             print(f"{name:<{width}}  {SCENARIOS[name].description}")
         return 0
     if args.scenario_command == "run":
-        report = run_scenario(args.name, scale=args.scale, seed=args.seed)
+        telemetry_on = _telemetry_begin(args)
+        try:
+            if telemetry_on:
+                from repro.telemetry import TELEMETRY
+
+                with TELEMETRY.span("scenario.run"):
+                    report = run_scenario(args.name, scale=args.scale, seed=args.seed)
+            else:
+                report = run_scenario(args.name, scale=args.scale, seed=args.seed)
+        finally:
+            if telemetry_on:
+                _telemetry_end(args)
         _print_report(report)
         if args.json:
             with open(args.json, "w", encoding="utf-8") as fh:
@@ -322,10 +393,24 @@ def _cmd_ops(args) -> int:
     except (ValueError, KeyError, OSError) as exc:
         source = f"plan file {args.plan!r}" if args.plan else "plan flags"
         raise SystemExit(f"invalid {source}: {exc}") from None
-    simulation = build_simulation(
-        scale=args.scale, seed=args.seed, scenario=args.scenario
-    )
-    log = simulation.ops.run(plan)
+    telemetry_on = _telemetry_begin(args)
+    try:
+        if telemetry_on:
+            from repro.telemetry import TELEMETRY
+
+            with TELEMETRY.span("ops.run"):
+                simulation = build_simulation(
+                    scale=args.scale, seed=args.seed, scenario=args.scenario
+                )
+                log = simulation.ops.run(plan)
+        else:
+            simulation = build_simulation(
+                scale=args.scale, seed=args.seed, scenario=args.scenario
+            )
+            log = simulation.ops.run(plan)
+    finally:
+        if telemetry_on:
+            _telemetry_end(args)
     print(
         f"plan: {plan.name}  items: {len(plan.items)}  "
         f"operations: {plan.total_operations}  settle: {plan.settle:g}s"
@@ -371,6 +456,24 @@ def _cmd_ops(args) -> int:
     return 0
 
 
+def _cmd_telemetry(args) -> int:
+    from repro.telemetry import TelemetrySnapshot, render_diff, render_snapshot
+
+    if len(args.snapshots) > 2:
+        raise SystemExit(
+            "telemetry summarize takes one snapshot, or two (A B) to diff"
+        )
+    try:
+        snaps = [TelemetrySnapshot.from_json(path) for path in args.snapshots]
+    except (OSError, ValueError, KeyError) as exc:
+        raise SystemExit(f"cannot load telemetry snapshot: {exc}") from None
+    if len(snaps) == 1:
+        print(render_snapshot(snaps[0]))
+    else:
+        print(render_diff(snaps[0], snaps[1]))
+    return 0
+
+
 def _cmd_snapshot(args) -> int:
     simulation = build_simulation(scale=args.scale, seed=args.seed)
     snapshot = take_snapshot(simulation)
@@ -400,8 +503,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "snapshot": _cmd_snapshot,
         "scenario": _cmd_scenario,
         "ops": _cmd_ops,
+        "telemetry": _cmd_telemetry,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an
+        # error.  Detach stdout so interpreter shutdown doesn't retry
+        # the flush and print a second traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

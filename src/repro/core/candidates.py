@@ -53,6 +53,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.core.slivers import has_candidate_bound
+from repro.telemetry import TELEMETRY
 
 __all__ = ["supports_candidates", "evaluate_all_candidates", "CandidateIndex"]
 
@@ -181,7 +182,8 @@ def evaluate_all_candidates(
     triple as the exhaustive sweep, bit-identical (property-tested in
     ``tests/test_candidates_parity.py`` and asserted per benchmark run).
     """
-    index = CandidateIndex(predicate, digests, availabilities)
+    with TELEMETRY.span("overlay.candidates.index"):
+        index = CandidateIndex(predicate, digests, availabilities)
     avs = index.availabilities
     digests = index.digests
     n = avs.shape[0]
@@ -210,97 +212,102 @@ def evaluate_all_candidates(
             t_h = np.full(av_x.shape[0], index.h_const)
         pos_parts = []
         src_parts = []
-        for j, b in enumerate(index.nonempty):
-            b_start = index.offsets[b]
-            b_stop = index.offsets[b + 1]
-            m = int(b_stop - b_start)
-            lo_av = index.av_min[j]
-            hi_av = index.av_max[j]
-            # Band classification of the whole bucket per source, from
-            # actual member min/max (float subtraction is monotone, so
-            # these are exactly the extreme per-pair distances).
-            in_all = (av_x - lo_av < eps) & (hi_av - av_x < eps)
-            out_all = (lo_av - av_x >= eps) | (av_x - hi_av >= eps)
-            if index.v_kind == "const":
-                t_v = np.full(av_x.shape[0], index.v_const)
-            elif index.v_kind == "dst":
-                t_v = np.full(av_x.shape[0], index.v_bucket_max[j])
-            else:  # "dst-distance"
-                dist_min = np.maximum(np.maximum(lo_av - av_x, av_x - hi_av), 0.0)
-                with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
-                    t_v = np.where(
-                        dist_min > 0.0, index.v_bucket_max[j] / dist_min, np.inf
-                    )
-                t_v = np.minimum(t_v, 1.0)
-            bound = np.where(in_all, t_h, np.where(out_all, t_v, np.maximum(t_h, t_v)))
-            if cushion:
-                bound = np.minimum(1.0, bound + cushion)
-            scaled = bound * _U64_SCALE * _REL_SLACK + _ABS_SLACK
-            full = scaled >= _FULL_CUTOFF
-            # Full buckets bypass the interval search entirely; clip so
-            # the cast stays in uint64 range for them too.
-            t_int = np.minimum(scaled, _FULL_CUTOFF).astype(np.uint64)
-            bucket_keys = index.keys_sorted[b_start:b_stop]
-            with np.errstate(over="ignore"):
-                lo_key = (zero - shifts).astype(np.uint64)
-                hi_key = (t_int - shifts).astype(np.uint64)
-            a = np.searchsorted(bucket_keys, lo_key, side="left")
-            c = np.searchsorted(bucket_keys, hi_key, side="right")
-            wrapped = lo_key > hi_key
-            # Range 1: [0, c) when wrapped or full-bucket, else [a, c).
-            start1 = np.where(wrapped | full, 0, a)
-            stop1 = np.where(full, m, c)
-            # Range 2: [a, m) when wrapped (disjoint from range 1).
-            start2 = np.where(wrapped & ~full, a, 0)
-            stop2 = np.where(wrapped & ~full, m, 0)
-            owners = np.arange(av_x.shape[0], dtype=np.int64)
-            p1, o1 = _expand_ranges(start1.astype(np.int64), stop1.astype(np.int64), owners)
-            p2, o2 = _expand_ranges(start2.astype(np.int64), stop2.astype(np.int64), owners)
-            if p1.size:
-                pos_parts.append(p1 + int(b_start))
-                src_parts.append(o1)
-            if p2.size:
-                pos_parts.append(p2 + int(b_start))
-                src_parts.append(o2)
+        with TELEMETRY.span("overlay.candidates.enumerate"):
+            for j, b in enumerate(index.nonempty):
+                b_start = index.offsets[b]
+                b_stop = index.offsets[b + 1]
+                m = int(b_stop - b_start)
+                lo_av = index.av_min[j]
+                hi_av = index.av_max[j]
+                # Band classification of the whole bucket per source,
+                # from actual member min/max (float subtraction is
+                # monotone, so these are exactly the extreme per-pair
+                # distances).
+                in_all = (av_x - lo_av < eps) & (hi_av - av_x < eps)
+                out_all = (lo_av - av_x >= eps) | (av_x - hi_av >= eps)
+                if index.v_kind == "const":
+                    t_v = np.full(av_x.shape[0], index.v_const)
+                elif index.v_kind == "dst":
+                    t_v = np.full(av_x.shape[0], index.v_bucket_max[j])
+                else:  # "dst-distance"
+                    dist_min = np.maximum(np.maximum(lo_av - av_x, av_x - hi_av), 0.0)
+                    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+                        t_v = np.where(
+                            dist_min > 0.0, index.v_bucket_max[j] / dist_min, np.inf
+                        )
+                    t_v = np.minimum(t_v, 1.0)
+                bound = np.where(in_all, t_h, np.where(out_all, t_v, np.maximum(t_h, t_v)))
+                if cushion:
+                    bound = np.minimum(1.0, bound + cushion)
+                scaled = bound * _U64_SCALE * _REL_SLACK + _ABS_SLACK
+                full = scaled >= _FULL_CUTOFF
+                # Full buckets bypass the interval search entirely; clip
+                # so the cast stays in uint64 range for them too.
+                t_int = np.minimum(scaled, _FULL_CUTOFF).astype(np.uint64)
+                bucket_keys = index.keys_sorted[b_start:b_stop]
+                with np.errstate(over="ignore"):
+                    lo_key = (zero - shifts).astype(np.uint64)
+                    hi_key = (t_int - shifts).astype(np.uint64)
+                a = np.searchsorted(bucket_keys, lo_key, side="left")
+                c = np.searchsorted(bucket_keys, hi_key, side="right")
+                wrapped = lo_key > hi_key
+                # Range 1: [0, c) when wrapped or full-bucket, else [a, c).
+                start1 = np.where(wrapped | full, 0, a)
+                stop1 = np.where(full, m, c)
+                # Range 2: [a, m) when wrapped (disjoint from range 1).
+                start2 = np.where(wrapped & ~full, a, 0)
+                stop2 = np.where(wrapped & ~full, m, 0)
+                owners = np.arange(av_x.shape[0], dtype=np.int64)
+                p1, o1 = _expand_ranges(start1.astype(np.int64), stop1.astype(np.int64), owners)
+                p2, o2 = _expand_ranges(start2.astype(np.int64), stop2.astype(np.int64), owners)
+                if p1.size:
+                    pos_parts.append(p1 + int(b_start))
+                    src_parts.append(o1)
+                if p2.size:
+                    pos_parts.append(p2 + int(b_start))
+                    src_parts.append(o2)
+        if TELEMETRY.enabled:
+            TELEMETRY.poke_progress(context="overlay.candidates")
         if not pos_parts:
             continue
-        pos = np.concatenate(pos_parts)
-        src_local = np.concatenate(src_parts)
-        dst_rows = index.rows_sorted[pos]
-        not_self = dst_rows != (src_local + s0)
-        dst_rows = dst_rows[not_self]
-        src_local = src_local[not_self]
-        if dst_rows.size == 0:
-            continue
-        # Exact filter: identical float comparisons to the exhaustive
-        # block sweep (same per-pair thresholds, same |Δav| < ε
-        # classification, same cushion clamp).
-        with np.errstate(over="ignore"):
-            wrapped_sum = (shifts[src_local] + index.keys[dst_rows]).astype(np.uint64)
-        hashes = wrapped_sum.astype(np.float64) / _U64_SCALE
-        deltas = np.abs(av_x[src_local] - avs[dst_rows])
-        h_mask = deltas < eps
-        if index.h_kind == "src":
-            h_t = t_h[src_local]
-        else:
-            h_t = index.h_const
-        if index.v_kind == "const":
-            v_t = index.v_const
-        elif index.v_kind == "dst":
-            v_t = index.v_values[dst_rows]
-        else:
-            v_t = vertical.pair_threshold_values(av_x[src_local], avs[dst_rows], pdf)
-        thresholds = np.where(h_mask, h_t, v_t)
-        if cushion:
-            thresholds = np.minimum(1.0, thresholds + cushion)
-        member = hashes <= thresholds
-        src_local = src_local[member]
-        dst_rows = dst_rows[member]
-        h_mask = h_mask[member]
-        order = np.lexsort((dst_rows, src_local))
-        src_chunks.append((src_local[order] + s0).astype(np.int64))
-        dst_chunks.append(dst_rows[order].astype(np.int64))
-        horizontal_chunks.append(h_mask[order])
+        with TELEMETRY.span("overlay.candidates.filter"):
+            pos = np.concatenate(pos_parts)
+            src_local = np.concatenate(src_parts)
+            dst_rows = index.rows_sorted[pos]
+            not_self = dst_rows != (src_local + s0)
+            dst_rows = dst_rows[not_self]
+            src_local = src_local[not_self]
+            if dst_rows.size == 0:
+                continue
+            # Exact filter: identical float comparisons to the exhaustive
+            # block sweep (same per-pair thresholds, same |Δav| < ε
+            # classification, same cushion clamp).
+            with np.errstate(over="ignore"):
+                wrapped_sum = (shifts[src_local] + index.keys[dst_rows]).astype(np.uint64)
+            hashes = wrapped_sum.astype(np.float64) / _U64_SCALE
+            deltas = np.abs(av_x[src_local] - avs[dst_rows])
+            h_mask = deltas < eps
+            if index.h_kind == "src":
+                h_t = t_h[src_local]
+            else:
+                h_t = index.h_const
+            if index.v_kind == "const":
+                v_t = index.v_const
+            elif index.v_kind == "dst":
+                v_t = index.v_values[dst_rows]
+            else:
+                v_t = vertical.pair_threshold_values(av_x[src_local], avs[dst_rows], pdf)
+            thresholds = np.where(h_mask, h_t, v_t)
+            if cushion:
+                thresholds = np.minimum(1.0, thresholds + cushion)
+            member = hashes <= thresholds
+            src_local = src_local[member]
+            dst_rows = dst_rows[member]
+            h_mask = h_mask[member]
+            order = np.lexsort((dst_rows, src_local))
+            src_chunks.append((src_local[order] + s0).astype(np.int64))
+            dst_chunks.append(dst_rows[order].astype(np.int64))
+            horizontal_chunks.append(h_mask[order])
     if not src_chunks:
         return empty, empty.copy(), np.empty(0, dtype=bool)
     return (

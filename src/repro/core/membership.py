@@ -47,6 +47,7 @@ import numpy as np
 
 from repro.core.ids import NodeId, digest_array
 from repro.core.predicates import NodeDescriptor, SliverKind
+from repro.telemetry import TELEMETRY
 
 __all__ = [
     "MemberEntry",
@@ -515,6 +516,19 @@ class MembershipTable:
 
         Returns the number of entries evicted.
         """
+        with TELEMETRY.span("membership.refresh_round"):
+            return self._refresh_round(
+                slots, availabilities, horizontal_flags, keep_mask, now
+            )
+
+    def _refresh_round(
+        self,
+        slots: np.ndarray,
+        availabilities: np.ndarray,
+        horizontal_flags: np.ndarray,
+        keep_mask: np.ndarray,
+        now: float,
+    ) -> int:
         slots = np.asarray(slots, dtype=np.int64)
         keep = np.asarray(keep_mask, dtype=bool)
         availabilities = np.asarray(availabilities, dtype=float)

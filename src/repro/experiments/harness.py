@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 
 from repro.core.config import AvmemConfig
 from repro.simulation import AvmemSimulation, SimulationSettings
+from repro.telemetry import TELEMETRY
 
 __all__ = [
     "ExperimentScale",
@@ -190,6 +191,37 @@ class ScenarioRunReport:
             "notes": list(self.notes),
         }.items()}
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ScenarioRunReport":
+        """Rebuild a report from :meth:`as_dict` output (``None`` →
+        NaN for the scrubbed undefined metrics).  ``anycast_success_rate``
+        is derived, so it is ignored on input; the operation ``log`` is
+        not part of the flat record and comes back ``None``.
+        """
+
+        def unscrub(value: object) -> float:
+            return float("nan") if value is None else float(value)
+
+        return cls(
+            scenario=str(payload["scenario"]),
+            scale=str(payload["scale"]),
+            seed=int(payload["seed"]),
+            hosts=int(payload["hosts"]),
+            online_at_start=int(payload["online_at_start"]),
+            mean_lifetime_availability=unscrub(payload["mean_lifetime_availability"]),
+            anycasts=int(payload["anycasts"]),
+            anycasts_delivered=int(payload["anycasts_delivered"]),
+            anycast_mean_hops=unscrub(payload["anycast_mean_hops"]),
+            anycast_mean_latency=unscrub(payload["anycast_mean_latency"]),
+            anycast_data_messages=int(payload["anycast_data_messages"]),
+            multicasts=int(payload["multicasts"]),
+            multicast_mean_reliability=unscrub(payload["multicast_mean_reliability"]),
+            multicast_mean_spam_ratio=unscrub(payload["multicast_mean_spam_ratio"]),
+            build_seconds=float(payload["build_seconds"]),
+            workload_seconds=float(payload["workload_seconds"]),
+            notes=list(payload.get("notes", ())),
+        )
+
 
 def run_scenario(
     name: str,
@@ -211,16 +243,20 @@ def run_scenario(
     spec = get_scenario(name)
     workload = spec.workload
     started = time.perf_counter()
-    simulation = build_simulation(scale=scale, seed=seed, scenario=name, **sim_kwargs)
+    with TELEMETRY.span("scenario.build"):
+        simulation = build_simulation(
+            scale=scale, seed=seed, scenario=name, **sim_kwargs
+        )
     build_seconds = time.perf_counter() - started
     notes: List[str] = []
     online = len(simulation.online_ids())
     started = time.perf_counter()
-    plan = workload.to_plan(name=f"{name}-workload")
-    if plan is not None:
-        log = simulation.ops.run(plan)
-    else:
-        log = OperationLog.builder().finalize()
+    with TELEMETRY.span("scenario.workload"):
+        plan = workload.to_plan(name=f"{name}-workload")
+        if plan is not None:
+            log = simulation.ops.run(plan)
+        else:
+            log = OperationLog.builder().finalize()
     workload_seconds = time.perf_counter() - started
     anycasts = log.anycasts & log.launched
     multicasts = log.multicasts & log.launched

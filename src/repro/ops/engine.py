@@ -33,6 +33,7 @@ from repro.ops.results import AnycastRecord, AnycastStatus, MulticastRecord
 from repro.ops.spec import TargetSpec
 from repro.sim.engine import ScheduledEvent, Simulator
 from repro.sim.network import Envelope, Network
+from repro.telemetry import TELEMETRY
 
 __all__ = ["OperationEngine"]
 
@@ -340,6 +341,12 @@ class OperationEngine:
         if not actions:
             return
         self._wavefront = []
+        if TELEMETRY.enabled:
+            TELEMETRY.observe("dispatch.wavefront_actions", len(actions))
+        with TELEMETRY.span("dispatch.flush"):
+            self._dispatch_wavefront(actions)
+
+    def _dispatch_wavefront(self, actions: List[tuple]) -> None:
         items: List[tuple] = []
         armed: List[Tuple[int, int, _PendingAttempt]] = []
 

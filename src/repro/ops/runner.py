@@ -35,6 +35,7 @@ from repro.core.ids import NodeId
 from repro.ops.log import OperationLog
 from repro.ops.plan import OperationItem, OperationPlan
 from repro.ops.results import AnycastRecord, MulticastRecord
+from repro.telemetry import TELEMETRY
 
 __all__ = ["OperationRunner", "PlanExecution"]
 
@@ -86,6 +87,10 @@ class OperationRunner:
 
     def execute(self, plan: OperationPlan) -> PlanExecution:
         """Execute ``plan``, keeping record-level results too."""
+        with TELEMETRY.span("ops.execute"):
+            return self._execute(plan)
+
+    def _execute(self, plan: OperationPlan) -> PlanExecution:
         simulation = self._simulation
         simulation._require_ready()
         # The endpoint index is rebuilt per execution: the population may
@@ -108,13 +113,15 @@ class OperationRunner:
         # per-stream order; see docs/architecture.md §"Anycast
         # wavefront").
         holding = False
+        telemetry = TELEMETRY
         for k in range(len(schedule)):
             launch_at = start + float(schedule.times[k])
             if launch_at > sim.now:
                 if holding:
                     engine.release_wavefront()
                     holding = False
-                sim.run_until(launch_at)
+                with telemetry.span("ops.advance"):
+                    sim.run_until(launch_at)
             if not holding:
                 engine.hold_wavefront()
                 holding = True
@@ -122,8 +129,13 @@ class OperationRunner:
             item = plan.items[item_index]
             initiator = self._resolve_initiator(item)
             if initiator is None:
+                if telemetry.enabled:
+                    telemetry.count("ops.skipped")
                 outcomes.append((item_index, sim.now, None))
                 continue
+            if telemetry.enabled:
+                telemetry.count("ops.launched")
+                telemetry.count(f"ops.launched.{item.kind}")
             if item.kind == "anycast":
                 record: Record = engine.anycast(
                     initiator,

@@ -38,6 +38,7 @@ import numpy as np
 from repro.core.ids import NodeId
 from repro.core.population import Population
 from repro.core.predicates import AvmemPredicate, NodeDescriptor, SliverKind
+from repro.telemetry import TELEMETRY
 from repro.util.memmaps import spill
 
 __all__ = [
@@ -134,10 +135,11 @@ class OverlayGraph:
         if len(set(ids)) != len(ids):
             raise ValueError("descriptors must have unique node ids")
         avs = np.array([d.availability for d in descriptors], dtype=float)
-        src, dst, horizontal = predicate.evaluate_all(
-            ids, avs, cushion=cushion, block_rows=block_rows, method=method
-        )
-        return cls(ids, avs, src, dst, horizontal, storage=storage)
+        with TELEMETRY.span("overlay.build"):
+            src, dst, horizontal = predicate.evaluate_all(
+                ids, avs, cushion=cushion, block_rows=block_rows, method=method
+            )
+            return cls(ids, avs, src, dst, horizontal, storage=storage)
 
     @classmethod
     def build_rows(
@@ -155,14 +157,17 @@ class OverlayGraph:
         memory-bounded.  ``method="auto"`` uses candidate generation
         whenever the predicate supports it; ``storage`` spills the edge
         CSR to ``.npy`` memmaps in that directory."""
-        src, dst, horizontal = predicate.evaluate_all_rows(
-            population.digests,
-            population.availabilities,
-            cushion=cushion,
-            block_rows=block_rows,
-            method=method,
-        )
-        return cls(None, None, src, dst, horizontal, population=population, storage=storage)
+        with TELEMETRY.span("overlay.build"):
+            src, dst, horizontal = predicate.evaluate_all_rows(
+                population.digests,
+                population.availabilities,
+                cushion=cushion,
+                block_rows=block_rows,
+                method=method,
+            )
+            return cls(
+                None, None, src, dst, horizontal, population=population, storage=storage
+            )
 
     # ------------------------------------------------------------------
     # Shape

@@ -28,6 +28,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro.telemetry import TELEMETRY
+
 __all__ = ["Simulator", "ScheduledEvent", "PeriodicTask", "SimulationError"]
 
 
@@ -201,6 +203,8 @@ class Simulator:
             event = ScheduledEvent(float(time), callback, tuple(args))
             heapq.heappush(queue, _HeapEntry(event.time, next(counter), event))
             events.append(event)
+        if TELEMETRY.enabled:
+            TELEMETRY.observe("sim.schedule_cohort_size", len(events))
         return events
 
     # ------------------------------------------------------------------
@@ -216,6 +220,10 @@ class Simulator:
         event._fired = True
         event.callback(*event.args)
         self._events_processed += 1
+        # The whole per-event cost of telemetry while disabled is this
+        # one attribute check (overhead-guarded in tests/test_telemetry.py).
+        if TELEMETRY.enabled:
+            TELEMETRY.event_tick(self)
         return True
 
     def run(self, max_events: Optional[int] = None) -> int:

@@ -12,7 +12,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.util.mathx import empirical_cdf, mean_or_nan, quantile
+from repro.util.mathx import empirical_cdf
 
 __all__ = ["Counter", "Distribution", "TimeSeries", "MetricsRegistry"]
 
@@ -33,72 +33,112 @@ class Distribution:
     """Collects float samples; answers mean/quantile/CDF queries.
 
     Samples are kept in insertion order (useful when a figure needs the
-    raw scatter, e.g. Fig 2's per-node sliver sizes).
+    raw scatter, e.g. Fig 2's per-node sliver sizes) in a doubling numpy
+    buffer, so the statistics (mean, quantiles, fraction-below) are one
+    vectorized pass instead of Python-level walks.
     """
 
-    __slots__ = ("_samples",)
+    __slots__ = ("_buf", "_n")
 
     def __init__(self, samples: Optional[Iterable[float]] = None):
-        self._samples: List[float] = (
-            [float(s) for s in samples] if samples is not None else []
-        )
+        self._buf = np.empty(16, dtype=float)
+        self._n = 0
+        if samples is not None:
+            self.extend(samples)
+
+    def _grow(self, need: int) -> None:
+        size = self._buf.size
+        while size < need:
+            size *= 2
+        buf = np.empty(size, dtype=float)
+        buf[: self._n] = self._buf[: self._n]
+        self._buf = buf
 
     def add(self, sample: float) -> None:
-        self._samples.append(float(sample))
+        if self._n == self._buf.size:
+            self._grow(self._n + 1)
+        self._buf[self._n] = sample
+        self._n += 1
 
     def extend(self, samples: Iterable[float]) -> None:
-        self._samples.extend(float(s) for s in samples)
+        arr = np.asarray(
+            samples if isinstance(samples, np.ndarray) else list(samples),
+            dtype=float,
+        ).ravel()
+        if not arr.size:
+            return
+        need = self._n + arr.size
+        if need > self._buf.size:
+            self._grow(need)
+        self._buf[self._n : need] = arr
+        self._n = need
+
+    def values(self) -> np.ndarray:
+        """The samples as a numpy view (insertion order; do not mutate)."""
+        return self._buf[: self._n]
 
     @property
     def count(self) -> int:
-        return len(self._samples)
+        return self._n
 
     @property
     def samples(self) -> Tuple[float, ...]:
-        return tuple(self._samples)
+        return tuple(self.values().tolist())
 
     def mean(self) -> float:
-        return mean_or_nan(self._samples)
+        return float(self.values().mean()) if self._n else float("nan")
 
     def quantile(self, q: float) -> float:
-        return quantile(self._samples, q)
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile level must be in [0, 1], got {q}")
+        if not self._n:
+            return float("nan")
+        return float(np.quantile(self.values(), q))
 
     def median(self) -> float:
         return self.quantile(0.5)
 
     def min(self) -> float:
-        return min(self._samples) if self._samples else float("nan")
+        return float(self.values().min()) if self._n else float("nan")
 
     def max(self) -> float:
-        return max(self._samples) if self._samples else float("nan")
+        return float(self.values().max()) if self._n else float("nan")
 
     def cdf(self) -> Tuple[np.ndarray, np.ndarray]:
         """Empirical CDF as ``(xs, ps)`` arrays."""
-        return empirical_cdf(self._samples)
+        return empirical_cdf(self.values())
 
     def fraction_below(self, threshold: float) -> float:
         """Fraction of samples ``<= threshold`` (NaN when empty)."""
-        if not self._samples:
+        if not self._n:
             return float("nan")
-        return sum(1 for s in self._samples if s <= threshold) / len(self._samples)
+        return float(np.count_nonzero(self.values() <= threshold)) / self._n
 
     def histogram(self, bins: int = 10, lo: float = 0.0, hi: float = 1.0) -> Tuple[np.ndarray, np.ndarray]:
         """Fixed-range histogram — availability axes are always [0, 1]."""
-        counts, edges = np.histogram(np.asarray(self._samples, dtype=float), bins=bins, range=(lo, hi))
+        counts, edges = np.histogram(self.values(), bins=bins, range=(lo, hi))
         return counts, edges
 
     def summary(self) -> Dict[str, float]:
+        if not self._n:
+            nan = float("nan")
+            return {
+                "count": 0.0, "mean": nan, "median": nan,
+                "p90": nan, "min": nan, "max": nan,
+            }
+        values = self.values()
+        median, p90 = np.quantile(values, (0.5, 0.9))
         return {
-            "count": float(self.count),
-            "mean": self.mean(),
-            "median": self.median(),
-            "p90": self.quantile(0.9) if self._samples else float("nan"),
-            "min": self.min(),
-            "max": self.max(),
+            "count": float(self._n),
+            "mean": float(values.mean()),
+            "median": float(median),
+            "p90": float(p90),
+            "min": float(values.min()),
+            "max": float(values.max()),
         }
 
     def __len__(self) -> int:
-        return len(self._samples)
+        return self._n
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Distribution(n={self.count}, mean={self.mean():.4g})"
@@ -168,3 +208,24 @@ class MetricsRegistry:
             "distributions": {k: d.summary() for k, d in sorted(self._distributions.items())},
             "series": {k: s.count for k, s in sorted(self._series.items())},
         }
+
+    def export(self, recorder=None, prefix: str = "metrics.") -> None:
+        """Bridge this registry into the telemetry recorder.
+
+        Counters land as telemetry counters and non-empty distributions
+        as summarized telemetry distributions, all under ``prefix`` —
+        so an experiment's registry shows up in the same
+        :class:`~repro.telemetry.snapshot.TelemetrySnapshot` as the
+        engine's own instrumentation.  Empty distributions are skipped
+        (their all-NaN summaries carry no information and would not
+        survive JSON equality).  No-op while the recorder is disabled.
+        """
+        if recorder is None:
+            from repro.telemetry import TELEMETRY as recorder
+        if not recorder.enabled:
+            return
+        for name, counter in sorted(self._counters.items()):
+            recorder.count(f"{prefix}{name}", counter.value)
+        for name, dist in sorted(self._distributions.items()):
+            if len(dist):
+                recorder.distribution(f"{prefix}{name}", dist.summary())

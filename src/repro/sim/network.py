@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.sim.engine import Simulator
 from repro.sim.latency import LatencyModel, UniformLatency
+from repro.telemetry import TELEMETRY
 
 __all__ = ["Network", "NetworkStats", "PresenceOracle", "Envelope", "DropReason"]
 
@@ -272,6 +273,8 @@ class Network:
                 sent += bool(self.send(src, dst, payload))
             return sent, 0
         now = self.sim.now
+        if TELEMETRY.enabled:
+            TELEMETRY.observe("net.batch_cohort_size", n)
         if self.check_sender and not self.presence.is_online(src, now):
             self.stats.record_drop(DropReason.SRC_OFFLINE, count=n)
             return 0, 0
@@ -281,6 +284,8 @@ class Network:
         offline_count = int(n - np.count_nonzero(online))
         if offline_count:
             self.stats.record_drop(DropReason.DST_OFFLINE, count=offline_count)
+            if TELEMETRY.enabled:
+                TELEMETRY.count("net.drop.dst_offline", offline_count)
         if suppress is not None:
             deliver_mask = online & ~suppress
             suppressed_live = np.flatnonzero(online & suppress)
@@ -296,6 +301,10 @@ class Network:
         else:
             deliver_mask = online
             suppressed_delivered = 0
+        if suppress is not None and TELEMETRY.enabled:
+            TELEMETRY.count(
+                "net.suppressed_duplicates", int(np.count_nonzero(suppress))
+            )
         live = np.flatnonzero(deliver_mask)
         if not live.size:
             return n, suppressed_delivered
@@ -351,6 +360,8 @@ class Network:
                 wired[k] = self.send(src, dst, payload)
             return wired
         now = self.sim.now
+        if TELEMETRY.enabled:
+            TELEMETRY.observe("net.wavefront_cohort_size", n)
         if self.check_sender:
             src_online = self._presence_array([item[0] for item in items], now)
         else:
@@ -374,6 +385,10 @@ class Network:
             self.stats.record_drop(
                 DropReason.DST_OFFLINE, count=int(m - deliverable.size)
             )
+            if TELEMETRY.enabled:
+                TELEMETRY.count(
+                    "net.drop.dst_offline", int(m - deliverable.size)
+                )
         if not deliverable.size:
             return wired
         live_times = arrivals[deliverable]

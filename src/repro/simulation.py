@@ -53,6 +53,7 @@ from repro.overlays.random_overlay import degree_matched_random_predicate
 from repro.sim.engine import Simulator
 from repro.sim.latency import PAPER_HOP_LATENCY
 from repro.sim.network import Network
+from repro.telemetry import TELEMETRY
 from repro.util.randomness import RandomRouter
 
 __all__ = ["SimulationSettings", "AvmemSimulation"]
@@ -174,7 +175,8 @@ class AvmemSimulation:
     def __init__(self, settings: Optional[SimulationSettings] = None):
         self.settings = settings if settings is not None else SimulationSettings()
         self._router = RandomRouter(self.settings.seed)
-        self._build()
+        with TELEMETRY.span("sim.build"):
+            self._build()
         self._ready = False
         self._ops_runner: Optional[OperationRunner] = None
 
@@ -351,15 +353,19 @@ class AvmemSimulation:
             )
         if settle < 0 or settle > warmup:
             raise ValueError(f"settle must be in [0, warmup], got {settle}")
-        if s.bootstrap == "protocol":
-            self._start_protocols(s.protocols if s.protocols != "off" else "full")
-            self.sim.run_until(warmup)
-        else:
-            self.sim.run_until(warmup - settle)
-            self._direct_bootstrap()
-            if s.protocols != "off":
-                self._start_protocols(s.protocols)
-            self.sim.run_until(warmup)
+        with TELEMETRY.span("sim.setup"):
+            if s.bootstrap == "protocol":
+                self._start_protocols(s.protocols if s.protocols != "off" else "full")
+                with TELEMETRY.span("sim.warmup"):
+                    self.sim.run_until(warmup)
+            else:
+                with TELEMETRY.span("sim.warmup"):
+                    self.sim.run_until(warmup - settle)
+                self._direct_bootstrap()
+                if s.protocols != "off":
+                    self._start_protocols(s.protocols)
+                with TELEMETRY.span("sim.warmup"):
+                    self.sim.run_until(warmup)
         self._ready = True
 
     def _start_protocols(self, which: str) -> None:
@@ -421,23 +427,26 @@ class AvmemSimulation:
             np.array([self.oracle.query(node) for node in self.node_ids], dtype=float)
         )
         avs = pop.availabilities
-        src, dst, horizontal = self.predicate.evaluate_all_rows(
-            pop.digests, avs, method=self.settings.overlay_method
-        )
-        # Trace order is population row order, so the timeline's presence
-        # mask is already row-aligned.
-        online_mask = self.trace.timeline.online_mask(self.sim.now)
-        keep = online_mask[dst]
-        overlay = OverlayGraph(
-            None, None, src[keep], dst[keep], horizontal[keep], population=pop
-        )
-        for i, node_id in enumerate(self.node_ids):
-            node = self.nodes[node_id]
-            # Prime the node's own availability cache with the service's
-            # current answer, then install its row of predicate matches.
-            node.availability.fetch(node_id)
-            neighbors, row_horizontal = overlay.row(i)
-            node.install_member_rows(neighbors, avs[neighbors], row_horizontal)
+        with TELEMETRY.span("overlay.build"):
+            src, dst, horizontal = self.predicate.evaluate_all_rows(
+                pop.digests, avs, method=self.settings.overlay_method
+            )
+            # Trace order is population row order, so the timeline's
+            # presence mask is already row-aligned.
+            online_mask = self.trace.timeline.online_mask(self.sim.now)
+            keep = online_mask[dst]
+            overlay = OverlayGraph(
+                None, None, src[keep], dst[keep], horizontal[keep], population=pop
+            )
+        with TELEMETRY.span("overlay.install"):
+            for i, node_id in enumerate(self.node_ids):
+                node = self.nodes[node_id]
+                # Prime the node's own availability cache with the
+                # service's current answer, then install its row of
+                # predicate matches.
+                node.availability.fetch(node_id)
+                neighbors, row_horizontal = overlay.row(i)
+                node.install_member_rows(neighbors, avs[neighbors], row_horizontal)
 
     # ------------------------------------------------------------------
     # Operation helpers

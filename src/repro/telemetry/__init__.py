@@ -1,0 +1,51 @@
+"""Run-level telemetry: counters, gauges, histograms, spans, snapshots.
+
+AVMEM's premise is management operations over a *monitored* overlay;
+this package applies the same discipline to our own runs.  The
+process-wide :data:`TELEMETRY` recorder (disabled by default — hot
+paths pay one attribute check) collects phase spans and event-loop /
+dispatch statistics from hook points through the whole stack, freezes
+them into an exactly-JSON-round-tripping
+:class:`~repro.telemetry.snapshot.TelemetrySnapshot`, and renders them
+via ``repro telemetry summarize``.  See ``docs/observability.md``.
+
+Typical use::
+
+    from repro.telemetry import TELEMETRY
+
+    TELEMETRY.enable()
+    ...  # any instrumented run
+    snapshot = TELEMETRY.snapshot()
+    snapshot.to_json("telemetry.json")
+
+Hook-point guard idiom (hot paths)::
+
+    if TELEMETRY.enabled:
+        TELEMETRY.observe("net.cohort_size", n)
+
+and for phases (cheap even when disabled — the disabled recorder hands
+back a shared no-op context manager)::
+
+    with TELEMETRY.span("overlay.build"):
+        ...
+"""
+
+from repro.telemetry.core import TELEMETRY, Histogram, TelemetryRecorder
+from repro.telemetry.progress import ProgressReporter
+from repro.telemetry.render import render_diff, render_snapshot
+from repro.telemetry.rss import current_rss_mb, peak_rss_mb, ru_maxrss_to_mb
+from repro.telemetry.snapshot import SpanStat, TelemetrySnapshot
+
+__all__ = [
+    "TELEMETRY",
+    "TelemetryRecorder",
+    "Histogram",
+    "TelemetrySnapshot",
+    "SpanStat",
+    "ProgressReporter",
+    "render_snapshot",
+    "render_diff",
+    "peak_rss_mb",
+    "current_rss_mb",
+    "ru_maxrss_to_mb",
+]

@@ -1,0 +1,100 @@
+"""Process memory accounting with platform fallbacks.
+
+:func:`peak_rss_mb` is the memory-boundedness metric every BENCH JSON
+records and the progress reporter prints.  The primary source is
+``resource.getrusage`` (``ru_maxrss`` is **kilobytes on Linux, bytes on
+macOS** — the unit conversion is factored out and regression-tested);
+where the ``resource`` module does not exist (Windows) a ctypes
+``GetProcessMemoryInfo`` fallback answers instead of silently recording
+null.  :func:`current_rss_mb` reads the instantaneous RSS (``/proc``
+where available) for live progress lines.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platform
+    resource = None
+
+__all__ = ["peak_rss_mb", "current_rss_mb", "ru_maxrss_to_mb"]
+
+_MB = 1024.0 * 1024.0
+
+
+def ru_maxrss_to_mb(ru_maxrss: float, platform: Optional[str] = None) -> float:
+    """Convert a raw ``ru_maxrss`` reading to MiB with platform-correct
+    units: the value is bytes on macOS and kilobytes everywhere else
+    POSIX (Linux, *BSD)."""
+    platform = sys.platform if platform is None else platform
+    if platform == "darwin":
+        return ru_maxrss / _MB
+    return ru_maxrss / 1024.0
+
+
+def _windows_peak_rss_mb() -> Optional[float]:  # pragma: no cover - win only
+    """``GetProcessMemoryInfo().PeakWorkingSetSize`` via ctypes."""
+    try:
+        import ctypes
+        import ctypes.wintypes as wintypes
+
+        class PROCESS_MEMORY_COUNTERS(ctypes.Structure):
+            _fields_ = [
+                ("cb", wintypes.DWORD),
+                ("PageFaultCount", wintypes.DWORD),
+                ("PeakWorkingSetSize", ctypes.c_size_t),
+                ("WorkingSetSize", ctypes.c_size_t),
+                ("QuotaPeakPagedPoolUsage", ctypes.c_size_t),
+                ("QuotaPagedPoolUsage", ctypes.c_size_t),
+                ("QuotaPeakNonPagedPoolUsage", ctypes.c_size_t),
+                ("QuotaNonPagedPoolUsage", ctypes.c_size_t),
+                ("PagefileUsage", ctypes.c_size_t),
+                ("PeakPagefileUsage", ctypes.c_size_t),
+            ]
+
+        counters = PROCESS_MEMORY_COUNTERS()
+        counters.cb = ctypes.sizeof(PROCESS_MEMORY_COUNTERS)
+        handle = ctypes.windll.kernel32.GetCurrentProcess()
+        ok = ctypes.windll.psapi.GetProcessMemoryInfo(
+            handle, ctypes.byref(counters), counters.cb
+        )
+        if not ok:
+            return None
+        return counters.PeakWorkingSetSize / _MB
+    except Exception:
+        return None
+
+
+def peak_rss_mb() -> Optional[float]:
+    """Peak resident set size of this process so far, in MiB.
+
+    This is a high-water mark — per-phase deltas need a subprocess per
+    phase.  Returns None only when no platform source exists at all.
+    """
+    if resource is not None:
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return ru_maxrss_to_mb(peak)
+    if sys.platform == "win32":  # pragma: no cover - win only
+        return _windows_peak_rss_mb()
+    return None  # pragma: no cover - no known source
+
+
+def current_rss_mb() -> Optional[float]:
+    """Instantaneous resident set size in MiB (best effort).
+
+    Linux reads ``/proc/self/statm``; elsewhere the peak is returned as
+    an upper bound (still useful in a progress line), or None when no
+    source exists.
+    """
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as fh:
+            fields = fh.read().split()
+        import os
+
+        page = os.sysconf("SC_PAGE_SIZE")
+        return int(fields[1]) * page / _MB
+    except (OSError, IndexError, ValueError):
+        return peak_rss_mb()

@@ -1,0 +1,181 @@
+"""Frozen telemetry state: :class:`TelemetrySnapshot`.
+
+A snapshot is everything one run recorded — counters, gauges,
+histograms, distribution summaries, and the aggregated span tree — as a
+plain immutable value with **exact** JSON round-trip
+(``TelemetrySnapshot.from_json(path)`` after ``to_json(path)`` compares
+equal), the same discipline as
+:class:`~repro.ops.log.OperationLog`.  ``repro telemetry summarize``
+renders one snapshot or diffs two (see :mod:`repro.telemetry.render`).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["TelemetrySnapshot", "SpanStat", "FORMAT"]
+
+FORMAT = "avmem-telemetry-v1"
+
+
+@dataclass(frozen=True)
+class SpanStat:
+    """One aggregated node of the span tree.
+
+    ``seconds`` is the total wall-clock spent inside this span path
+    (including children); ``self_seconds`` subtracts the children.
+    """
+
+    name: str
+    count: int
+    seconds: float
+    children: Tuple["SpanStat", ...] = ()
+
+    @property
+    def self_seconds(self) -> float:
+        return self.seconds - sum(child.seconds for child in self.children)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "count": int(self.count),
+            "seconds": float(self.seconds),
+            "children": [child.as_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SpanStat":
+        return cls(
+            name=str(payload["name"]),
+            count=int(payload["count"]),
+            seconds=float(payload["seconds"]),
+            children=tuple(
+                cls.from_dict(child) for child in payload.get("children", ())
+            ),
+        )
+
+    def walk(self, prefix: str = "") -> Iterator[Tuple[str, "SpanStat"]]:
+        """Yield ``(dotted_path, node)`` depth-first."""
+        path = f"{prefix}.{self.name}" if prefix else self.name
+        yield path, self
+        for child in self.children:
+            yield from child.walk(path)
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """Immutable record of one run's telemetry (see module docstring)."""
+
+    wall_seconds: float
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    distributions: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    spans: Tuple[SpanStat, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def span_seconds(self) -> float:
+        """Total wall-clock covered by the top-level spans."""
+        return sum(span.seconds for span in self.spans)
+
+    def span_coverage(self) -> float:
+        """Fraction of the run wall-clock the span tree accounts for
+        (NaN when no wall time elapsed)."""
+        if not self.wall_seconds or self.wall_seconds <= 0:
+            return float("nan")
+        return self.span_seconds() / self.wall_seconds
+
+    def span_paths(self) -> Dict[str, SpanStat]:
+        """Flat ``dotted.path -> SpanStat`` index over the tree."""
+        out: Dict[str, SpanStat] = {}
+        for span in self.spans:
+            for path, node in span.walk():
+                out[path] = node
+        return out
+
+    def find_span(self, path: str) -> Optional[SpanStat]:
+        return self.span_paths().get(path)
+
+    def phase_breakdown(self) -> List[Dict[str, object]]:
+        """The time-goes-where table: one row per span path, depth-first,
+        with total and self seconds — what ``bench_util.emit_bench_json``
+        embeds into every BENCH JSON."""
+        rows: List[Dict[str, object]] = []
+        for path, node in self.span_paths().items():
+            rows.append(
+                {
+                    "phase": path,
+                    "count": int(node.count),
+                    "seconds": float(node.seconds),
+                    "self_seconds": float(node.self_seconds),
+                }
+            )
+        return rows
+
+    # ------------------------------------------------------------------
+    # JSON round-trip
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "format": FORMAT,
+            "wall_seconds": float(self.wall_seconds),
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: dict(v) for k, v in self.histograms.items()},
+            "distributions": {k: dict(v) for k, v in self.distributions.items()},
+            "spans": [span.as_dict() for span in self.spans],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "TelemetrySnapshot":
+        fmt = payload.get("format")
+        if fmt != FORMAT:
+            raise ValueError(f"not a telemetry snapshot (format {fmt!r})")
+        return cls(
+            wall_seconds=float(payload["wall_seconds"]),
+            counters={str(k): int(v) for k, v in payload["counters"].items()},
+            gauges={str(k): float(v) for k, v in payload["gauges"].items()},
+            histograms={
+                str(k): dict(v) for k, v in payload["histograms"].items()
+            },
+            distributions={
+                str(k): {str(n): float(x) for n, x in v.items()}
+                for k, v in payload["distributions"].items()
+            },
+            spans=tuple(SpanStat.from_dict(s) for s in payload["spans"]),
+        )
+
+    def to_json(self, path: str) -> None:
+        """Write the snapshot as JSON.  NaN summary values (empty
+        distributions) are scrubbed to null so the output is strictly
+        valid JSON; everything else round-trips exactly (floats via
+        shortest-repr)."""
+        payload = self.as_dict()
+        for summary in payload["distributions"].values():
+            for key, value in summary.items():
+                if isinstance(value, float) and math.isnan(value):
+                    summary[key] = None
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, allow_nan=False)
+            fh.write("\n")
+
+    @classmethod
+    def from_json(cls, path: str) -> "TelemetrySnapshot":
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        for summary in payload.get("distributions", {}).values():
+            for key, value in summary.items():
+                if value is None:
+                    summary[key] = float("nan")
+        return cls.from_dict(payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TelemetrySnapshot(wall={self.wall_seconds:.3f}s, "
+            f"counters={len(self.counters)}, spans={len(self.spans)})"
+        )

@@ -17,6 +17,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.telemetry import TELEMETRY
+
 __all__ = ["spill", "open_array", "array_path"]
 
 
@@ -30,13 +32,16 @@ def spill(array: np.ndarray, directory: Optional[str], name: str) -> np.ndarray:
     in-RAM array passes through), so call sites need no branching."""
     if directory is None:
         return array
-    os.makedirs(directory, exist_ok=True)
-    array = np.ascontiguousarray(array)
-    mapped = np.lib.format.open_memmap(
-        array_path(directory, name), mode="w+", dtype=array.dtype, shape=array.shape
-    )
-    mapped[...] = array
-    mapped.flush()
+    with TELEMETRY.span("overlay.spill"):
+        os.makedirs(directory, exist_ok=True)
+        array = np.ascontiguousarray(array)
+        mapped = np.lib.format.open_memmap(
+            array_path(directory, name), mode="w+", dtype=array.dtype, shape=array.shape
+        )
+        mapped[...] = array
+        mapped.flush()
+    if TELEMETRY.enabled:
+        TELEMETRY.count("overlay.spilled_bytes", int(array.nbytes))
     return mapped
 
 

@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import json
+import math
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -58,3 +61,118 @@ class TestExecution:
         captured = capsys.readouterr().out
         assert "fig3" in captured
         assert "slope" in captured
+
+
+class TestScenarioReportRoundTrip:
+    def test_report_json_round_trips(self, tmp_path, capsys):
+        """scenario run --json output rebuilds into an equal report via
+        ScenarioRunReport.from_dict (scrubbed None -> NaN included)."""
+        from repro.experiments.harness import ScenarioRunReport
+
+        out_path = tmp_path / "report.json"
+        assert main([
+            "scenario", "run", "flash-crowd", "--scale", "small", "--seed", "3",
+            "--json", str(out_path),
+        ]) == 0
+        capsys.readouterr()
+        payload = json.loads(out_path.read_text())
+        report = ScenarioRunReport.from_dict(payload)
+        assert report.scenario == "flash-crowd"
+        assert report.log is None
+        # as_dict of the rebuilt report must reproduce the file exactly.
+        assert report.as_dict() == payload
+
+    def test_from_dict_restores_nan(self):
+        from repro.experiments.harness import ScenarioRunReport
+
+        report = ScenarioRunReport(
+            scenario="s", scale="small", seed=0, hosts=10,
+            online_at_start=5, mean_lifetime_availability=0.5,
+        )
+        rebuilt = ScenarioRunReport.from_dict(
+            json.loads(json.dumps(report.as_dict()))
+        )
+        assert math.isnan(rebuilt.anycast_mean_hops)
+        # NaN breaks dataclass ==; the scrubbed dict form is the
+        # canonical comparison.
+        assert rebuilt.as_dict() == report.as_dict()
+
+
+class TestTelemetryCli:
+    @pytest.fixture(autouse=True)
+    def _reset_telemetry(self):
+        from repro.telemetry import TELEMETRY
+
+        yield
+        TELEMETRY.disable()
+        TELEMETRY.attach_progress(None)
+        TELEMETRY.reset()
+
+    def test_ops_run_telemetry_and_summarize(self, tmp_path, capsys):
+        from repro.telemetry import TELEMETRY, TelemetrySnapshot
+
+        tel_path = tmp_path / "tel.json"
+        assert main([
+            "ops", "run", "--scale", "small", "--seed", "5",
+            "--anycasts", "3", "--multicasts", "1",
+            "--telemetry", str(tel_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "span coverage" in out
+        assert not TELEMETRY.enabled  # recorder handed back disabled
+        snapshot = TelemetrySnapshot.from_json(str(tel_path))
+        assert snapshot.find_span("ops.run") is not None
+        assert snapshot.find_span("ops.run.ops.execute") is not None
+        assert snapshot.counters.get("sim.events", 0) > 0
+        assert snapshot.span_coverage() >= 0.9
+
+        assert main(["telemetry", "summarize", str(tel_path)]) == 0
+        rendered = capsys.readouterr().out
+        assert "ops.run" in rendered
+        assert "wall-clock" in rendered
+
+    def test_scenario_run_telemetry_coverage(self, tmp_path, capsys):
+        from repro.telemetry import TelemetrySnapshot
+
+        tel_path = tmp_path / "tel.json"
+        assert main([
+            "scenario", "run", "flash-crowd", "--scale", "small", "--seed", "1",
+            "--telemetry", str(tel_path),
+        ]) == 0
+        capsys.readouterr()
+        snapshot = TelemetrySnapshot.from_json(str(tel_path))
+        assert snapshot.span_coverage() >= 0.9
+        assert snapshot.find_span("scenario.run.scenario.build") is not None
+        assert snapshot.find_span("scenario.run.scenario.workload") is not None
+        # Exact JSON round-trip through a second write.
+        second = tmp_path / "tel2.json"
+        snapshot.to_json(str(second))
+        assert TelemetrySnapshot.from_json(str(second)) == snapshot
+
+    def test_summarize_diff_two_files(self, tmp_path, capsys):
+        from repro.telemetry import TelemetryRecorder
+
+        recorder = TelemetryRecorder(enabled=True)
+        recorder.count("a", 1)
+        a_path, b_path = tmp_path / "a.json", tmp_path / "b.json"
+        recorder.snapshot().to_json(str(a_path))
+        recorder.count("a", 2)
+        recorder.snapshot().to_json(str(b_path))
+        assert main(["telemetry", "summarize", str(a_path), str(b_path)]) == 0
+        out = capsys.readouterr().out
+        assert "->" in out
+
+    def test_summarize_rejects_bad_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format": "nope"}')
+        with pytest.raises(SystemExit):
+            main(["telemetry", "summarize", str(bad)])
+
+    def test_summarize_rejects_three_files(self, tmp_path):
+        paths = []
+        for name in ("a", "b", "c"):
+            p = tmp_path / f"{name}.json"
+            p.write_text("{}")
+            paths.append(str(p))
+        with pytest.raises(SystemExit):
+            main(["telemetry", "summarize", *paths])
