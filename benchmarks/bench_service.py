@@ -1,0 +1,243 @@
+"""Service-layer throughput: HTTP request latency and cross-session
+concurrency scaling.
+
+Starts an in-process :class:`~repro.service.http.make_server` (the same
+``ThreadingHTTPServer`` behind ``repro serve``) and measures:
+
+* **Request overhead** — wall time per lightweight query (``healthz``,
+  session detail, ``log`` aggregation) against one live session: the
+  HTTP+JSON+lock tax on top of the in-memory aggregation itself.
+* **Command throughput** — sequential ``advance`` commands on one
+  session (journal append + event-loop execution per request).
+* **Concurrency scaling** — the same per-session plan workload driven
+  over 1, 2, and 4 sessions concurrently (one client thread per
+  session).  Per-session locks serialize commands *within* a session
+  only, so N sessions should scale with available cores rather than
+  queueing behind a global lock; the table reports aggregate
+  plans/second and the scaling efficiency vs the single-session run.
+* **Checkpoint/restore cost** — time to persist a session with a
+  populated journal, and to restore it from disk (journal replay).
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+    PYTHONPATH=src python benchmarks/bench_service.py --quick
+
+Results are appended to ``benchmarks/results/BENCH_service.json`` via
+:mod:`bench_util`, so ``repro telemetry trend`` tracks the trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import tempfile
+import threading
+import time
+from typing import Dict, List
+
+from bench_util import emit_bench_json
+from repro.telemetry import TELEMETRY
+from repro.service.client import ServiceClient
+from repro.service.http import make_server
+from repro.service.orchestrator import SessionOrchestrator
+from repro.service.spec import SessionSpec
+from repro.service.store import SessionStore
+
+SPEC = {
+    "settings": {"hosts": 120, "epochs": 16, "seed": 11},
+    "warmup": 5000.0,
+    "settle": 800.0,
+}
+
+PLAN = {
+    "items": [
+        {
+            "kind": "anycast",
+            "target": {"kind": "range", "lo": 0.5, "hi": 1.0},
+            "count": 6,
+            "band": "mid",
+            "timing": {"mode": "interval", "spacing": 2.0},
+        },
+    ],
+    "settle": 15.0,
+    "name": "bench",
+}
+
+
+def _timed(fn, repeats: int) -> float:
+    """Mean seconds per call over ``repeats`` calls."""
+    started = time.perf_counter()
+    for __ in range(repeats):
+        fn()
+    return (time.perf_counter() - started) / repeats
+
+
+def bench_requests(client: ServiceClient, session_id: str, repeats: int) -> Dict[str, float]:
+    return {
+        "healthz_ms": 1000.0 * _timed(client.healthz, repeats),
+        "detail_ms": 1000.0 * _timed(lambda: client.session(session_id), repeats),
+        "log_ms": 1000.0 * _timed(
+            lambda: client.log(session_id, by=["kind", "band"]), repeats
+        ),
+    }
+
+
+def bench_advance(client: ServiceClient, session_id: str, repeats: int) -> Dict[str, float]:
+    seconds = 1000.0 * _timed(lambda: client.advance(session_id, 5.0), repeats)
+    return {"advance_ms": seconds}
+
+
+def bench_concurrency(
+    client: ServiceClient, fleet_sizes: List[int], plans_per_session: int
+) -> List[Dict[str, float]]:
+    """Drive ``plans_per_session`` plans on N sessions concurrently."""
+    rows: List[Dict[str, float]] = []
+    base_rate = None
+    for fleet in fleet_sizes:
+        ids = [f"fleet{fleet}-{i}" for i in range(fleet)]
+        for session_id in ids:
+            client.create_session(id=session_id, **SPEC)
+        errors: List[BaseException] = []
+
+        def drive(session_id: str) -> None:
+            try:
+                local = ServiceClient(client.base_url)
+                for __ in range(plans_per_session):
+                    local.run_plan(session_id, PLAN)
+            except BaseException as exc:  # pragma: no cover - report below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=drive, args=(session_id,))
+            for session_id in ids
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        if errors:
+            raise RuntimeError(f"concurrent drive failed: {errors[0]!r}")
+        rate = fleet * plans_per_session / elapsed
+        if base_rate is None:
+            base_rate = rate
+        rows.append({
+            "sessions": fleet,
+            "plans": fleet * plans_per_session,
+            "seconds": elapsed,
+            "plans_per_second": rate,
+            "scaling_vs_1": rate / base_rate,
+        })
+        for session_id in ids:
+            client.delete_session(session_id)
+    return rows
+
+
+def bench_durability(state_dir: str, journal_commands: int) -> Dict[str, float]:
+    """Checkpoint + restore cost with a ``journal_commands``-entry journal."""
+    from repro.ops.plan import OperationPlan
+    from repro.service.session import SimulationSession
+
+    spec = SessionSpec.from_request(dict(SPEC))
+    store = SessionStore(state_dir)
+    session = SimulationSession.build("durab", spec)
+    plan = OperationPlan.from_dict(PLAN)
+    for i in range(journal_commands):
+        if i % 2 == 0:
+            session.run_plan(plan)
+        else:
+            session.advance(10.0)
+    started = time.perf_counter()
+    store.checkpoint(session)
+    checkpoint_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    loaded_spec, journal, __ = store.load("durab")
+    restored = SimulationSession.build("durab", loaded_spec, journal=journal)
+    restore_seconds = time.perf_counter() - started
+    assert len(restored.journal) == journal_commands
+    return {
+        "journal_commands": journal_commands,
+        "checkpoint_seconds": checkpoint_seconds,
+        "restore_seconds": restore_seconds,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    parser.add_argument("--out", default=None, help="BENCH json path override")
+    args = parser.parse_args()
+
+    repeats = 20 if args.quick else 100
+    plans_per_session = 2 if args.quick else 5
+    fleet_sizes = [1, 2] if args.quick else [1, 2, 4]
+    journal_commands = 4 if args.quick else 12
+
+    state_dir = tempfile.mkdtemp(prefix="avmem-bench-service-")
+    store = SessionStore(state_dir)
+    orchestrator = SessionOrchestrator(store)
+    server = make_server(orchestrator, port=0)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(f"http://{host}:{port}")
+
+    # Sessions record into their own private recorders (that's the
+    # isolation property), so the process-wide recorder sees nothing
+    # from the engine; benchmark-stage spans give the BENCH record a
+    # phase table `repro telemetry trend` can track.
+    try:
+        with TELEMETRY.span("service.create"):
+            started = time.perf_counter()
+            client.create_session(id="warm", **SPEC)
+            create_seconds = time.perf_counter() - started
+            client.run_plan("warm", PLAN)
+
+        with TELEMETRY.span("service.requests"):
+            requests = bench_requests(client, "warm", repeats)
+            advance = bench_advance(client, "warm", max(5, repeats // 4))
+        client.delete_session("warm")
+        with TELEMETRY.span("service.concurrency"):
+            concurrency = bench_concurrency(client, fleet_sizes, plans_per_session)
+        with TELEMETRY.span("service.durability"):
+            durability = bench_durability(state_dir, journal_commands)
+    finally:
+        server.shutdown()
+        server.server_close()
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+    print(f"session create (build + warmup): {create_seconds:.3f}s")
+    print("request overhead (mean):")
+    for name, value in requests.items():
+        print(f"  {name:<12} {value:8.3f} ms")
+    print(f"  {'advance_ms':<12} {advance['advance_ms']:8.3f} ms")
+    print("concurrency scaling:")
+    print(f"  {'sessions':>8}  {'plans':>6}  {'seconds':>8}  {'plans/s':>8}  scaling")
+    for row in concurrency:
+        print(
+            f"  {row['sessions']:>8}  {row['plans']:>6}  {row['seconds']:>8.3f}"
+            f"  {row['plans_per_second']:>8.2f}  {row['scaling_vs_1']:.2f}x"
+        )
+    print(
+        f"durability: checkpoint {durability['checkpoint_seconds']:.3f}s, "
+        f"restore (replay {durability['journal_commands']} commands) "
+        f"{durability['restore_seconds']:.3f}s"
+    )
+
+    emit_bench_json(
+        "service",
+        {
+            "quick": args.quick,
+            "create_seconds": create_seconds,
+            "requests_ms": {**requests, **advance},
+            "concurrency": concurrency,
+            "durability": durability,
+        },
+        path=args.out,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,7 @@ import json
 import os
 import platform
 import sys
+import time
 from pathlib import Path
 from typing import Optional
 
@@ -50,6 +51,9 @@ def emit_bench_json(name: str, payload: dict, path: Optional[str] = None) -> Pat
     target.parent.mkdir(parents=True, exist_ok=True)
     record = {
         "benchmark": name,
+        # Orders runs in `avmem telemetry trend` (falls back to file
+        # mtime for records written before this field existed).
+        "timestamp": time.time(),
         "environment": {
             "python": sys.version.split()[0],
             "numpy": np.__version__,

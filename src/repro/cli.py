@@ -13,6 +13,8 @@
     avmem ops run --scale medium --telemetry tel.json --progress 10
     avmem telemetry summarize tel.json
     avmem telemetry summarize before.json after.json
+    avmem telemetry trend benchmarks/results --fail-on-regression
+    avmem serve --port 8414 --state-dir avmem-sessions --idle-timeout 900
 
 ``python -m repro`` is an alias for the ``avmem`` entry point.
 """
@@ -150,6 +152,46 @@ def build_parser() -> argparse.ArgumentParser:
     tel_sum.add_argument(
         "snapshots", nargs="+", metavar="SNAPSHOT",
         help="telemetry snapshot JSON file(s); two files render as a diff",
+    )
+    tel_trend = tel_sub.add_parser(
+        "trend",
+        help="per-phase time deltas across a directory of BENCH_*.json records",
+    )
+    tel_trend.add_argument(
+        "directory", metavar="DIR",
+        help="directory walked recursively for BENCH_*.json files",
+    )
+    tel_trend.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="relative slowdown flagged as a regression (default 0.25 = +25%%)",
+    )
+    tel_trend.add_argument(
+        "--min-seconds", type=float, default=0.05,
+        help="absolute slowdown a regression must also exceed (default 0.05s)",
+    )
+    tel_trend.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit 1 when any phase regressed (CI gate)",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run the simulation-as-a-service HTTP API"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8414,
+        help="TCP port (0 picks a free one; default 8414)",
+    )
+    serve.add_argument(
+        "--state-dir", default="avmem-sessions", metavar="DIR",
+        help="session checkpoint directory (created if missing)",
+    )
+    serve.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="evict sessions idle this long to disk (default: never)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every request to stderr"
     )
     return parser
 
@@ -457,6 +499,8 @@ def _cmd_ops(args) -> int:
 
 
 def _cmd_telemetry(args) -> int:
+    if args.telemetry_command == "trend":
+        return _cmd_telemetry_trend(args)
     from repro.telemetry import TelemetrySnapshot, render_diff, render_snapshot
 
     if len(args.snapshots) > 2:
@@ -471,6 +515,96 @@ def _cmd_telemetry(args) -> int:
         print(render_snapshot(snaps[0]))
     else:
         print(render_diff(snaps[0], snaps[1]))
+    return 0
+
+
+def _cmd_telemetry_trend(args) -> int:
+    from repro.telemetry.trend import collect_runs, phase_trends, render_trends
+
+    if not os.path.isdir(args.directory):
+        raise SystemExit(f"not a directory: {args.directory!r}")
+    groups, skipped = collect_runs(args.directory)
+    trends = phase_trends(groups)
+    print(render_trends(trends, threshold=args.threshold, min_seconds=args.min_seconds))
+    for path in skipped:
+        print(f"skipped (no phase table): {path}")
+    regressed = [
+        t for t in trends if t.regressed(args.threshold, args.min_seconds)
+    ]
+    if regressed:
+        print(
+            f"{len(regressed)} phase(s) regressed past "
+            f"+{100 * args.threshold:.0f}% / {args.min_seconds:g}s"
+        )
+        if args.fail_on_regression:
+            return 1
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import signal
+
+    from repro.service.http import make_server
+    from repro.service.orchestrator import SessionOrchestrator
+    from repro.service.store import SessionStore
+
+    store = SessionStore(args.state_dir)
+    orchestrator = SessionOrchestrator(store, idle_timeout=args.idle_timeout)
+    server = make_server(
+        orchestrator, host=args.host, port=args.port, verbose=args.verbose
+    )
+    host, port = server.server_address[:2]
+    checkpointed = store.list_ids()
+    print(
+        f"listening on http://{host}:{port} "
+        f"(state dir {args.state_dir!r}, {len(checkpointed)} checkpointed session(s))",
+        flush=True,
+    )
+
+    stop = {"requested": False}
+
+    def request_shutdown(signum, frame):  # pragma: no cover - signal path
+        stop["requested"] = True
+        # shutdown() must come from another thread than serve_forever's;
+        # the signal handler runs on the main thread, which here is the
+        # serving thread, so hand it off.
+        import threading
+
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, request_shutdown)
+        except ValueError:  # pragma: no cover - non-main thread (tests)
+            pass
+
+    sweeper = None
+    if args.idle_timeout is not None:
+        import threading
+
+        def sweep_loop():  # pragma: no cover - timing-dependent
+            while not stop["requested"]:
+                interval = max(1.0, args.idle_timeout / 4.0)
+                if stop["requested"]:
+                    break
+                threading.Event().wait(interval)
+                for session_id in orchestrator.sweep_idle():
+                    print(f"evicted idle session {session_id}", flush=True)
+
+        sweeper = threading.Thread(target=sweep_loop, daemon=True)
+        sweeper.start()
+
+    try:
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        stop["requested"] = True
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        server.server_close()
+        saved = orchestrator.checkpoint_all()
+        if saved:
+            print(f"checkpointed {len(saved)} session(s) on shutdown", flush=True)
     return 0
 
 
@@ -504,6 +638,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "scenario": _cmd_scenario,
         "ops": _cmd_ops,
         "telemetry": _cmd_telemetry,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

@@ -53,7 +53,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.core.slivers import has_candidate_bound
-from repro.telemetry import TELEMETRY
+from repro.telemetry import current as current_telemetry
 
 __all__ = ["supports_candidates", "evaluate_all_candidates", "CandidateIndex"]
 
@@ -182,7 +182,7 @@ def evaluate_all_candidates(
     triple as the exhaustive sweep, bit-identical (property-tested in
     ``tests/test_candidates_parity.py`` and asserted per benchmark run).
     """
-    with TELEMETRY.span("overlay.candidates.index"):
+    with current_telemetry().span("overlay.candidates.index"):
         index = CandidateIndex(predicate, digests, availabilities)
     avs = index.availabilities
     digests = index.digests
@@ -212,7 +212,7 @@ def evaluate_all_candidates(
             t_h = np.full(av_x.shape[0], index.h_const)
         pos_parts = []
         src_parts = []
-        with TELEMETRY.span("overlay.candidates.enumerate"):
+        with current_telemetry().span("overlay.candidates.enumerate"):
             for j, b in enumerate(index.nonempty):
                 b_start = index.offsets[b]
                 b_stop = index.offsets[b + 1]
@@ -266,11 +266,12 @@ def evaluate_all_candidates(
                 if p2.size:
                     pos_parts.append(p2 + int(b_start))
                     src_parts.append(o2)
-        if TELEMETRY.enabled:
-            TELEMETRY.poke_progress(context="overlay.candidates")
+        telemetry = current_telemetry()
+        if telemetry.enabled:
+            telemetry.poke_progress(context="overlay.candidates")
         if not pos_parts:
             continue
-        with TELEMETRY.span("overlay.candidates.filter"):
+        with current_telemetry().span("overlay.candidates.filter"):
             pos = np.concatenate(pos_parts)
             src_local = np.concatenate(src_parts)
             dst_rows = index.rows_sorted[pos]

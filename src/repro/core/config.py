@@ -8,7 +8,7 @@ object, so experiment code never hard-codes magic numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Optional
 
 from repro.util.validation import (
@@ -39,6 +39,13 @@ class GossipConfig:
             raise ValueError(f"rounds (Ng) must be positive, got {self.rounds}")
         check_positive(self.period, "gossip period")
 
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GossipConfig":
+        return cls(**payload)
+
 
 @dataclass(frozen=True)
 class AnycastConfig:
@@ -54,6 +61,13 @@ class AnycastConfig:
         if self.retry <= 0:
             raise ValueError(f"retry must be positive, got {self.retry}")
         check_positive(self.ack_timeout, "ack_timeout")
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AnycastConfig":
+        return cls(**payload)
 
 
 @dataclass(frozen=True)
@@ -128,6 +142,21 @@ class AvmemConfig:
     def with_overrides(self, **changes) -> "AvmemConfig":
         """A copy with the given fields replaced (validates again)."""
         return replace(self, **changes)
+
+    def as_dict(self) -> dict:
+        """All-primitive dict (nested configs become dicts), exact
+        round-trip through :meth:`from_dict` — what session manifests
+        persist."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AvmemConfig":
+        payload = dict(payload)
+        if isinstance(payload.get("anycast"), dict):
+            payload["anycast"] = AnycastConfig.from_dict(payload["anycast"])
+        if isinstance(payload.get("gossip"), dict):
+            payload["gossip"] = GossipConfig.from_dict(payload["gossip"])
+        return cls(**payload)
 
     def view_size_for(self, n_star: float) -> int:
         """Resolve the coarse view size: explicit, or ``⌈√N*⌉``."""

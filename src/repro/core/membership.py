@@ -47,7 +47,7 @@ import numpy as np
 
 from repro.core.ids import NodeId, digest_array
 from repro.core.predicates import NodeDescriptor, SliverKind
-from repro.telemetry import TELEMETRY
+from repro.telemetry import current as current_telemetry
 
 __all__ = [
     "MemberEntry",
@@ -516,7 +516,7 @@ class MembershipTable:
 
         Returns the number of entries evicted.
         """
-        with TELEMETRY.span("membership.refresh_round"):
+        with current_telemetry().span("membership.refresh_round"):
             return self._refresh_round(
                 slots, availabilities, horizontal_flags, keep_mask, now
             )

@@ -17,9 +17,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.core.config import AvmemConfig
+from repro.sim.metrics import MetricsRegistry
 from repro.simulation import AvmemSimulation, SimulationSettings
-from repro.telemetry import TELEMETRY
+from repro.telemetry import current as current_telemetry
 
 __all__ = [
     "ExperimentScale",
@@ -148,6 +151,10 @@ class ScenarioRunReport:
     build_seconds: float = 0.0
     workload_seconds: float = 0.0
     notes: List[str] = field(default_factory=list)
+    #: per-metric distribution summaries (count/mean/median/p90/min/max)
+    #: from the run's MetricsRegistry — inline so a report JSON carries
+    #: the distribution shape, not just point estimates
+    distributions: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: the columnar per-operation outcomes (not part of :meth:`as_dict`;
     #: export it separately via ``log.to_json()`` / ``log.to_csv()``)
     log: Optional[object] = field(default=None, compare=False, repr=False)
@@ -168,6 +175,8 @@ class ScenarioRunReport:
         def scrub(value: object) -> object:
             if isinstance(value, float) and value != value:
                 return None
+            if isinstance(value, dict):
+                return {k: scrub(v) for k, v in value.items()}
             return value
 
         return {key: scrub(value) for key, value in {
@@ -189,6 +198,10 @@ class ScenarioRunReport:
             "build_seconds": self.build_seconds,
             "workload_seconds": self.workload_seconds,
             "notes": list(self.notes),
+            "distributions": {
+                name: dict(summary)
+                for name, summary in sorted(self.distributions.items())
+            },
         }.items()}
 
     @classmethod
@@ -220,6 +233,10 @@ class ScenarioRunReport:
             build_seconds=float(payload["build_seconds"]),
             workload_seconds=float(payload["workload_seconds"]),
             notes=list(payload.get("notes", ())),
+            distributions={
+                name: {k: unscrub(v) for k, v in summary.items()}
+                for name, summary in dict(payload.get("distributions", {})).items()
+            },
         )
 
 
@@ -243,7 +260,8 @@ def run_scenario(
     spec = get_scenario(name)
     workload = spec.workload
     started = time.perf_counter()
-    with TELEMETRY.span("scenario.build"):
+    telemetry = current_telemetry()
+    with telemetry.span("scenario.build"):
         simulation = build_simulation(
             scale=scale, seed=seed, scenario=name, **sim_kwargs
         )
@@ -251,7 +269,7 @@ def run_scenario(
     notes: List[str] = []
     online = len(simulation.online_ids())
     started = time.perf_counter()
-    with TELEMETRY.span("scenario.workload"):
+    with telemetry.span("scenario.workload"):
         plan = workload.to_plan(name=f"{name}-workload")
         if plan is not None:
             log = simulation.ops.run(plan)
@@ -277,6 +295,24 @@ def run_scenario(
     reliability = log.reliability_values(multicasts)
     spam = log.spam_ratio_values(multicasts)
     targets = simulation.trace.timeline.lifetime_availability_array()
+    # The run's sample distributions, registered so the report carries
+    # shape (median/p90/min/max), not just the means — and exported into
+    # the active telemetry recorder so a --telemetry snapshot holds the
+    # same summaries alongside the engine's phase spans.
+    registry = MetricsRegistry()
+    registry.distribution("anycast.hops").extend(hops)
+    registry.distribution("anycast.latency_ms").extend(1000.0 * latencies)
+    registry.distribution("multicast.reliability").extend(
+        reliability[np.isfinite(reliability)]
+    )
+    registry.distribution("multicast.spam_ratio").extend(spam[np.isfinite(spam)])
+    registry.distribution("population.lifetime_availability").extend(targets)
+    registry.export(recorder=telemetry, prefix="scenario.")
+    distributions = {
+        name: registry.distribution(name).summary()
+        for name in registry.distribution_names()
+        if len(registry.distribution(name))
+    }
     return ScenarioRunReport(
         scenario=name,
         scale=scale,
@@ -297,6 +333,7 @@ def run_scenario(
         build_seconds=build_seconds,
         workload_seconds=workload_seconds,
         notes=notes,
+        distributions=distributions,
         log=log,
     )
 

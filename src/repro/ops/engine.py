@@ -33,7 +33,7 @@ from repro.ops.results import AnycastRecord, AnycastStatus, MulticastRecord
 from repro.ops.spec import TargetSpec
 from repro.sim.engine import ScheduledEvent, Simulator
 from repro.sim.network import Envelope, Network
-from repro.telemetry import TELEMETRY
+from repro.telemetry import current as current_telemetry
 
 __all__ = ["OperationEngine"]
 
@@ -113,6 +113,9 @@ class OperationEngine:
         self.truth_eligible = truth_eligible
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.verify_inbound = verify_inbound
+        # Captured once (see Simulator): per-session recorders route
+        # through construction-time capture, not a process-wide global.
+        self._telemetry = current_telemetry()
         self.anycasts: Dict[int, AnycastRecord] = {}
         self.multicasts: Dict[int, MulticastRecord] = {}
         self.rejected_inbound = 0
@@ -341,9 +344,9 @@ class OperationEngine:
         if not actions:
             return
         self._wavefront = []
-        if TELEMETRY.enabled:
-            TELEMETRY.observe("dispatch.wavefront_actions", len(actions))
-        with TELEMETRY.span("dispatch.flush"):
+        if self._telemetry.enabled:
+            self._telemetry.observe("dispatch.wavefront_actions", len(actions))
+        with self._telemetry.span("dispatch.flush"):
             self._dispatch_wavefront(actions)
 
     def _dispatch_wavefront(self, actions: List[tuple]) -> None:

@@ -306,6 +306,28 @@ class OperationLog:
         return OperationLogBuilder()
 
     @classmethod
+    def concat(cls, logs: Sequence["OperationLog"]) -> "OperationLog":
+        """Stack several logs into one, preserving row order.
+
+        A session that ran three plans holds three logs; its combined
+        aggregations (success rate, latency percentiles, …) are computed
+        over ``concat(logs)`` exactly as if one plan had produced every
+        row.  ``op_id``/``item`` values are kept verbatim — they are
+        per-plan identifiers, disambiguated by row position.
+        """
+        logs = list(logs)
+        if not logs:
+            return cls.builder().finalize()
+        if len(logs) == 1:
+            return logs[0]
+        return cls(
+            {
+                name: np.concatenate([log.columns[name] for log in logs])
+                for name in COLUMN_NAMES
+            }
+        )
+
+    @classmethod
     def from_records(
         cls,
         anycasts: Sequence[AnycastRecord] = (),

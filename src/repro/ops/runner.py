@@ -35,7 +35,7 @@ from repro.core.ids import NodeId
 from repro.ops.log import OperationLog
 from repro.ops.plan import OperationItem, OperationPlan
 from repro.ops.results import AnycastRecord, MulticastRecord
-from repro.telemetry import TELEMETRY
+from repro.telemetry import current as current_telemetry
 
 __all__ = ["OperationRunner", "PlanExecution"]
 
@@ -71,6 +71,12 @@ class OperationRunner:
 
     def __init__(self, simulation):
         self._simulation = simulation
+        # The simulation's captured recorder (falling back to the active
+        # context for stub simulations in tests) — plan execution records
+        # into the same per-session recorder as the engine beneath it.
+        self._telemetry = getattr(simulation, "telemetry", None)
+        if self._telemetry is None:
+            self._telemetry = current_telemetry()
         self._by_endpoint: Optional[dict] = None
         # Per-launch-instant cache of band -> initiator candidate row
         # arrays (valid only while sim.now is unchanged; see
@@ -87,7 +93,7 @@ class OperationRunner:
 
     def execute(self, plan: OperationPlan) -> PlanExecution:
         """Execute ``plan``, keeping record-level results too."""
-        with TELEMETRY.span("ops.execute"):
+        with self._telemetry.span("ops.execute"):
             return self._execute(plan)
 
     def _execute(self, plan: OperationPlan) -> PlanExecution:
@@ -113,7 +119,7 @@ class OperationRunner:
         # per-stream order; see docs/architecture.md §"Anycast
         # wavefront").
         holding = False
-        telemetry = TELEMETRY
+        telemetry = self._telemetry
         for k in range(len(schedule)):
             launch_at = start + float(schedule.times[k])
             if launch_at > sim.now:

@@ -38,7 +38,7 @@ import numpy as np
 from repro.core.ids import NodeId
 from repro.core.population import Population
 from repro.core.predicates import AvmemPredicate, NodeDescriptor, SliverKind
-from repro.telemetry import TELEMETRY
+from repro.telemetry import current as current_telemetry
 from repro.util.memmaps import spill
 
 __all__ = [
@@ -135,7 +135,7 @@ class OverlayGraph:
         if len(set(ids)) != len(ids):
             raise ValueError("descriptors must have unique node ids")
         avs = np.array([d.availability for d in descriptors], dtype=float)
-        with TELEMETRY.span("overlay.build"):
+        with current_telemetry().span("overlay.build"):
             src, dst, horizontal = predicate.evaluate_all(
                 ids, avs, cushion=cushion, block_rows=block_rows, method=method
             )
@@ -157,7 +157,7 @@ class OverlayGraph:
         memory-bounded.  ``method="auto"`` uses candidate generation
         whenever the predicate supports it; ``storage`` spills the edge
         CSR to ``.npy`` memmaps in that directory."""
-        with TELEMETRY.span("overlay.build"):
+        with current_telemetry().span("overlay.build"):
             src, dst, horizontal = predicate.evaluate_all_rows(
                 population.digests,
                 population.availabilities,

@@ -26,7 +26,7 @@ a workload means writing one spec, not new plumbing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
@@ -93,6 +93,13 @@ class PopulationSpec:
         if self.distribution == "uniform":
             return rng.uniform(self.low, self.high, n)
         return np.full(n, (self.low + self.high) / 2.0)
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PopulationSpec":
+        return cls(**payload)
 
 
 @dataclass(frozen=True)
@@ -171,6 +178,19 @@ class ChurnModelSpec:
             session_scaling=self.session_scaling,
         )
 
+    def as_dict(self) -> dict:
+        payload = asdict(self)
+        if self.ramp is not None:
+            payload["ramp"] = list(self.ramp)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ChurnModelSpec":
+        payload = dict(payload)
+        if payload.get("ramp") is not None:
+            payload["ramp"] = tuple(payload["ramp"])
+        return cls(**payload)
+
 
 @dataclass(frozen=True)
 class PerturbationSpec:
@@ -204,6 +224,13 @@ class PerturbationSpec:
         if self.kind == "flash-crowd":
             return apply_flash_crowd(timeline, time, duration, self.fraction, rng)
         return apply_blackout(timeline, time, duration, self.fraction, rng)
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PerturbationSpec":
+        return cls(**payload)
 
 
 @dataclass(frozen=True)
@@ -319,6 +346,18 @@ class WorkloadSpec:
             return None
         return OperationPlan(items=tuple(items), settle=self.settle, name=name)
 
+    def as_dict(self) -> dict:
+        payload = asdict(self)
+        payload["target"] = list(self.target)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WorkloadSpec":
+        payload = dict(payload)
+        if "target" in payload:
+            payload["target"] = tuple(payload["target"])
+        return cls(**payload)
+
 
 @dataclass(frozen=True)
 class ScenarioSpec:
@@ -361,6 +400,36 @@ class ScenarioSpec:
         for perturbation in self.perturbations:
             timeline = perturbation.apply(timeline, rng)
         return CompiledScenario(spec=self, timeline=timeline, targets=targets)
+
+    def as_dict(self) -> dict:
+        """All-primitive dict, exact round-trip through :meth:`from_dict`
+        — the service accepts inline specs in this shape and session
+        manifests persist them."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "churn": self.churn.as_dict(),
+            "population": self.population.as_dict(),
+            "perturbations": [p.as_dict() for p in self.perturbations],
+            "workload": self.workload.as_dict(),
+            "calibration_tolerance": self.calibration_tolerance,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScenarioSpec":
+        payload = dict(payload)
+        if isinstance(payload.get("churn"), dict):
+            payload["churn"] = ChurnModelSpec.from_dict(payload["churn"])
+        if isinstance(payload.get("population"), dict):
+            payload["population"] = PopulationSpec.from_dict(payload["population"])
+        if isinstance(payload.get("workload"), dict):
+            payload["workload"] = WorkloadSpec.from_dict(payload["workload"])
+        perturbations = payload.get("perturbations") or ()
+        payload["perturbations"] = tuple(
+            PerturbationSpec.from_dict(p) if isinstance(p, dict) else p
+            for p in perturbations
+        )
+        return cls(**payload)
 
 
 @dataclass(frozen=True)

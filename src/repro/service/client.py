@@ -1,0 +1,105 @@
+"""Tiny urllib client for the service API (tests, smoke, scripting).
+
+Each method mirrors one route in :mod:`repro.service.http`; non-2xx
+responses raise :class:`ServiceClientError` carrying the HTTP status and
+the server's ``error`` message.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import List, Optional
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(RuntimeError):
+    """A non-2xx API response."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Synchronous JSON client for one server."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing -------------------------------------------------------
+    def request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except Exception:
+                message = exc.reason
+            raise ServiceClientError(exc.code, message) from None
+
+    # -- API ------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def list_sessions(self) -> List[dict]:
+        return self.request("GET", "/sessions")["sessions"]
+
+    def create_session(self, **spec) -> dict:
+        """Create a session; keyword arguments form the request body
+        (``id``, ``scale``, ``settings``, ``scenario``, ``warmup``,
+        ``settle``, ``telemetry``)."""
+        return self.request("POST", "/sessions", spec)
+
+    def session(self, session_id: str) -> dict:
+        return self.request("GET", f"/sessions/{session_id}")
+
+    def delete_session(self, session_id: str) -> dict:
+        return self.request("DELETE", f"/sessions/{session_id}")
+
+    def run_plan(self, session_id: str, plan: dict) -> dict:
+        return self.request("POST", f"/sessions/{session_id}/plans", {"plan": plan})
+
+    def advance(self, session_id: str, seconds: float) -> dict:
+        return self.request(
+            "POST", f"/sessions/{session_id}/advance", {"seconds": seconds}
+        )
+
+    def step(self, session_id: str, count: int = 1) -> dict:
+        return self.request("POST", f"/sessions/{session_id}/step", {"count": count})
+
+    def checkpoint(self, session_id: str) -> dict:
+        return self.request("POST", f"/sessions/{session_id}/checkpoint", {})
+
+    def evict(self, session_id: str) -> dict:
+        return self.request("POST", f"/sessions/{session_id}/evict", {})
+
+    def log(
+        self,
+        session_id: str,
+        by: Optional[List[str]] = None,
+        plan: Optional[int] = None,
+    ) -> dict:
+        query = []
+        if by:
+            query.append(f"by={','.join(by)}")
+        if plan is not None:
+            query.append(f"plan={plan}")
+        suffix = f"?{'&'.join(query)}" if query else ""
+        return self.request("GET", f"/sessions/{session_id}/log{suffix}")
+
+    def telemetry(self, session_id: str, phases: bool = False) -> dict:
+        suffix = "?phases=1" if phases else ""
+        return self.request("GET", f"/sessions/{session_id}/telemetry{suffix}")

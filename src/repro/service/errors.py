@@ -1,0 +1,47 @@
+"""Service-layer exceptions, mapped onto HTTP statuses by the API."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServiceError",
+    "UnknownSessionError",
+    "SessionExistsError",
+    "SessionBusyError",
+]
+
+
+class ServiceError(RuntimeError):
+    """Base class for session-orchestration failures."""
+
+    http_status = 500
+
+
+class UnknownSessionError(ServiceError):
+    """No live or checkpointed session under that id (HTTP 404)."""
+
+    http_status = 404
+
+    def __init__(self, session_id: str):
+        super().__init__(f"unknown session {session_id!r}")
+        self.session_id = session_id
+
+
+class SessionExistsError(ServiceError):
+    """Create collided with a live or checkpointed session (HTTP 409)."""
+
+    http_status = 409
+
+    def __init__(self, session_id: str):
+        super().__init__(f"session {session_id!r} already exists")
+        self.session_id = session_id
+
+
+class SessionBusyError(ServiceError):
+    """A non-blocking operation (evict, delete) found the session mid-
+    command (HTTP 409); retry once the command finishes."""
+
+    http_status = 409
+
+    def __init__(self, session_id: str):
+        super().__init__(f"session {session_id!r} is executing a command")
+        self.session_id = session_id

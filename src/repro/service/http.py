@@ -1,0 +1,231 @@
+"""The dependency-free JSON API over the orchestrator.
+
+Stdlib-only (:class:`http.server.ThreadingHTTPServer`), one thread per
+request; per-session serialization comes from the orchestrator's locks,
+so concurrent clients driving *different* sessions run in parallel
+while commands on one session queue fairly.
+
+Routes
+------
+::
+
+    GET    /healthz                      liveness probe
+    GET    /sessions                     list (live + checkpointed)
+    POST   /sessions                     create (SessionSpec request body)
+    GET    /sessions/<id>                session detail
+    DELETE /sessions/<id>                drop live instance + checkpoint
+    POST   /sessions/<id>/plans          execute an OperationPlan (JSON body)
+    POST   /sessions/<id>/advance        {"seconds": S} — run the clock forward
+    POST   /sessions/<id>/step           {"count": N} — run N discrete events
+    POST   /sessions/<id>/checkpoint     persist now (stays live)
+    POST   /sessions/<id>/evict          persist and drop the live instance
+    GET    /sessions/<id>/log            OperationLog aggregations
+                                         (?by=kind,band&plan=K)
+    GET    /sessions/<id>/telemetry      TelemetrySnapshot
+                                         (?phases=1 for the phase table only)
+
+Errors come back as ``{"error": message}`` with the natural status:
+404 unknown session, 400 malformed request, 409 busy/duplicate.
+NaN/±inf aggregation values (undefined metrics) are scrubbed to null so
+every response is strictly valid JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import uuid
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.ops.plan import OperationPlan
+from repro.service.errors import ServiceError, UnknownSessionError
+from repro.service.orchestrator import SessionOrchestrator
+from repro.service.spec import SessionSpec
+
+__all__ = ["make_server", "ServiceHandler"]
+
+_MAX_BODY = 8 * 1024 * 1024
+
+
+def scrub_json(value):
+    """NaN/inf → None, recursively (undefined metrics must serialize)."""
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {k: scrub_json(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [scrub_json(v) for v in value]
+    return value
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes requests onto ``self.server.orchestrator``."""
+
+    server_version = "avmem-repro"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------
+    @property
+    def orchestrator(self) -> SessionOrchestrator:
+        return self.server.orchestrator
+
+    def log_message(self, fmt, *args):  # pragma: no cover - quiet by default
+        if getattr(self.server, "verbose", False):
+            super().log_message(fmt, *args)
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(scrub_json(payload)).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY:
+            raise ValueError(f"request body too large ({length} bytes)")
+        if length == 0:
+            return {}
+        payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _route(self) -> Tuple[str, Optional[str], Optional[str], dict]:
+        """(collection, session_id, action, query) from the URL path."""
+        parsed = urlparse(self.path)
+        query = {k: v[-1] for k, v in parse_qs(parsed.query).items()}
+        parts = [p for p in parsed.path.split("/") if p]
+        collection = parts[0] if parts else ""
+        session_id = parts[1] if len(parts) > 1 else None
+        action = parts[2] if len(parts) > 2 else None
+        if len(parts) > 3:
+            raise UnknownSessionError("/".join(parts))
+        return collection, session_id, action, query
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            collection, session_id, action, query = self._route()
+            handler = getattr(self, f"_{method}_{collection or 'root'}", None)
+            if handler is None:
+                self._send(404, {"error": f"no such resource {self.path!r}"})
+                return
+            handler(session_id, action, query)
+        except ServiceError as exc:
+            self._send(exc.http_status, {"error": str(exc)})
+        except (ValueError, TypeError, KeyError, json.JSONDecodeError) as exc:
+            self._send(400, {"error": str(exc)})
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_GET(self) -> None:
+        self._dispatch("get")
+
+    def do_POST(self) -> None:
+        self._dispatch("post")
+
+    def do_DELETE(self) -> None:
+        self._dispatch("delete")
+
+    # -- GET ------------------------------------------------------------
+    def _get_healthz(self, session_id, action, query) -> None:
+        self._send(200, {"ok": True, "sessions": len(self.orchestrator.list_sessions())})
+
+    def _get_sessions(self, session_id, action, query) -> None:
+        orch = self.orchestrator
+        if session_id is None:
+            self._send(200, {"sessions": orch.list_sessions()})
+            return
+        if action is None:
+            # Detail reads don't force a restore: a checkpointed session
+            # answers from its manifest.
+            for row in orch.list_sessions():
+                if row["id"] == session_id:
+                    self._send(200, row)
+                    return
+            raise UnknownSessionError(session_id)
+        if action == "log":
+            by = [f for f in (query.get("by") or "").split(",") if f]
+            plan = int(query["plan"]) if "plan" in query else None
+            payload = orch.run_command(
+                session_id, lambda s: s.aggregations(by=by, plan_index=plan)
+            )
+            self._send(200, payload)
+            return
+        if action == "telemetry":
+            snapshot = orch.run_command(session_id, lambda s: s.telemetry_snapshot())
+            if query.get("phases"):
+                self._send(200, {"phases": snapshot.phase_breakdown()})
+            else:
+                self._send(200, snapshot.as_dict())
+            return
+        self._send(404, {"error": f"no such resource {self.path!r}"})
+
+    # -- POST -----------------------------------------------------------
+    def _post_sessions(self, session_id, action, query) -> None:
+        orch = self.orchestrator
+        if session_id is None:
+            body = self._read_body()
+            new_id = body.pop("id", None) or uuid.uuid4().hex[:12]
+            spec = SessionSpec.from_request(body)
+            session = orch.create(new_id, spec)
+            self._send(201, session.info())
+            return
+        if action == "plans":
+            body = self._read_body()
+            plan = OperationPlan.from_dict(body.get("plan", body))
+            def run(s):
+                log = s.run_plan(plan)
+                return {
+                    "plan_index": len(s.logs) - 1,
+                    "rows": len(log),
+                    "now": s.simulation.sim.now,
+                    "summary": log.summary(),
+                }
+            self._send(200, orch.run_command(session_id, run))
+            return
+        if action == "advance":
+            seconds = float(self._read_body().get("seconds", 0.0))
+            self._send(200, orch.run_command(session_id, lambda s: s.advance(seconds)))
+            return
+        if action == "step":
+            count = int(self._read_body().get("count", 1))
+            self._send(200, orch.run_command(session_id, lambda s: s.step(count)))
+            return
+        if action == "checkpoint":
+            path = orch.checkpoint(session_id)
+            self._send(200, {"id": session_id, "checkpoint": path})
+            return
+        if action == "evict":
+            orch.evict(session_id)
+            self._send(200, {"id": session_id, "status": "checkpointed"})
+            return
+        self._send(404, {"error": f"no such resource {self.path!r}"})
+
+    # -- DELETE ---------------------------------------------------------
+    def _delete_sessions(self, session_id, action, query) -> None:
+        if session_id is None or action is not None:
+            self._send(404, {"error": f"no such resource {self.path!r}"})
+            return
+        self.orchestrator.delete(session_id)
+        self._send(200, {"id": session_id, "status": "deleted"})
+
+
+def make_server(
+    orchestrator: SessionOrchestrator,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """A ready-to-serve HTTP server bound to ``host:port`` (0 picks a
+    free port; read it back from ``server.server_address``)."""
+    server = ThreadingHTTPServer((host, port), ServiceHandler)
+    server.orchestrator = orchestrator
+    server.verbose = verbose
+    server.daemon_threads = True
+    return server

@@ -1,0 +1,261 @@
+"""The per-session-id registry: create, route, evict, restore.
+
+:class:`SessionOrchestrator` keeps live sessions in a dict guarded by a
+registry lock, with per-session locks serializing command execution —
+commands on one session queue behind each other while commands on
+different sessions run concurrently (the shape of the orchestrator
+registries in multi-simulation servers; see SNIPPETS.md §1).
+
+The expensive operations — building a new session, replaying a journal
+on restore — run **outside** the registry lock: the id is first claimed
+with a placeholder so concurrent requests for the same id wait on the
+build without stalling the rest of the server.
+
+Eviction checkpoints a session to the store and drops the live
+instance; a later command for that id transparently restores it.  The
+``evicted`` flag closes the race where a command was already waiting on
+the session lock when the eviction won it first: the waiter re-fetches
+through :meth:`get` instead of mutating the dropped instance.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional
+
+from repro.service.errors import (
+    SessionBusyError,
+    SessionExistsError,
+    UnknownSessionError,
+)
+from repro.service.session import SimulationSession
+from repro.service.spec import SessionSpec
+from repro.service.store import SessionStore, validate_session_id
+
+__all__ = ["SessionOrchestrator"]
+
+
+class _Placeholder:
+    """Claims an id in the registry while its session builds/restores.
+
+    Readers wait on :attr:`ready`; the builder publishes the session (or
+    the build error) and sets it.
+    """
+
+    def __init__(self):
+        self.ready = threading.Event()
+        self.session: Optional[SimulationSession] = None
+        self.error: Optional[BaseException] = None
+
+    def wait(self) -> SimulationSession:
+        self.ready.wait()
+        if self.error is not None:
+            raise self.error
+        return self.session
+
+
+class SessionOrchestrator:
+    """Registry of live sessions over a durable :class:`SessionStore`."""
+
+    def __init__(self, store: SessionStore, idle_timeout: Optional[float] = None):
+        self._store = store
+        self._idle_timeout = idle_timeout
+        self._lock = threading.Lock()
+        self._live: Dict[str, object] = {}  # id -> session | placeholder
+
+    @property
+    def store(self) -> SessionStore:
+        return self._store
+
+    # ------------------------------------------------------------------
+    # Create / lookup
+    # ------------------------------------------------------------------
+    def create(self, session_id: str, spec: SessionSpec) -> SimulationSession:
+        """Build a new session under ``session_id`` (error if taken)."""
+        validate_session_id(session_id)
+        placeholder = _Placeholder()
+        with self._lock:
+            if session_id in self._live or self._store.exists(session_id):
+                raise SessionExistsError(session_id)
+            self._live[session_id] = placeholder
+        return self._publish(session_id, placeholder, lambda: SimulationSession.build(session_id, spec))
+
+    def get(self, session_id: str) -> SimulationSession:
+        """The live session, restoring from the store when evicted."""
+        placeholder: Optional[_Placeholder] = None
+        with self._lock:
+            entry = self._live.get(session_id)
+            if isinstance(entry, SimulationSession):
+                return entry
+            if isinstance(entry, _Placeholder):
+                placeholder = entry
+            else:
+                if not self._store.exists(session_id):
+                    raise UnknownSessionError(session_id)
+                placeholder = _Placeholder()
+                self._live[session_id] = placeholder
+                entry = None
+        if entry is None:
+            def restore() -> SimulationSession:
+                spec, journal, __ = self._store.load(session_id)
+                return SimulationSession.build(session_id, spec, journal=journal)
+
+            return self._publish(session_id, placeholder, restore)
+        return placeholder.wait()
+
+    def _publish(
+        self,
+        session_id: str,
+        placeholder: _Placeholder,
+        build: Callable[[], SimulationSession],
+    ) -> SimulationSession:
+        """Run ``build`` outside the registry lock, swap the result in
+        for the placeholder, and wake every waiter."""
+        try:
+            session = build()
+        except BaseException as exc:
+            with self._lock:
+                if self._live.get(session_id) is placeholder:
+                    del self._live[session_id]
+            placeholder.error = exc
+            placeholder.ready.set()
+            raise
+        with self._lock:
+            self._live[session_id] = session
+        placeholder.session = session
+        placeholder.ready.set()
+        return session
+
+    # ------------------------------------------------------------------
+    # Command routing
+    # ------------------------------------------------------------------
+    def run_command(self, session_id: str, fn: Callable[[SimulationSession], object]):
+        """Run ``fn(session)`` holding the session's lock.
+
+        Retries the fetch when the instance it was waiting on got
+        evicted while queued — the re-fetch transparently restores from
+        the checkpoint, so the command never lands on a dropped object.
+        """
+        while True:
+            session = self.get(session_id)
+            with session.lock:
+                if session.evicted:
+                    continue
+                return fn(session)
+
+    # ------------------------------------------------------------------
+    # Durability / lifecycle
+    # ------------------------------------------------------------------
+    def checkpoint(self, session_id: str) -> str:
+        """Checkpoint a session in place (stays live)."""
+        return self.run_command(session_id, self._store.checkpoint)
+
+    def evict(self, session_id: str, block: bool = False) -> None:
+        """Checkpoint and drop the live instance.
+
+        Non-blocking by default: a session mid-command raises
+        :class:`SessionBusyError` rather than stalling the caller
+        (the idle sweeper skips busy sessions and retries next pass).
+        """
+        with self._lock:
+            entry = self._live.get(session_id)
+        if entry is None:
+            if not self._store.exists(session_id):
+                raise UnknownSessionError(session_id)
+            return  # already checkpointed only
+        if isinstance(entry, _Placeholder):
+            entry.wait()
+            return self.evict(session_id, block=block)
+        acquired = entry.lock.acquire(blocking=block)
+        if not acquired:
+            raise SessionBusyError(session_id)
+        try:
+            if entry.evicted:
+                return
+            self._store.checkpoint(entry)
+            entry.evicted = True
+            with self._lock:
+                if self._live.get(session_id) is entry:
+                    del self._live[session_id]
+        finally:
+            entry.lock.release()
+
+    def sweep_idle(self) -> List[str]:
+        """Evict every session idle past the configured timeout."""
+        if self._idle_timeout is None:
+            return []
+        with self._lock:
+            candidates = [
+                (sid, s)
+                for sid, s in self._live.items()
+                if isinstance(s, SimulationSession)
+                and s.idle_seconds() >= self._idle_timeout
+            ]
+        evicted = []
+        for session_id, __ in candidates:
+            try:
+                self.evict(session_id)
+                evicted.append(session_id)
+            except (SessionBusyError, UnknownSessionError):
+                continue
+        return evicted
+
+    def checkpoint_all(self) -> List[str]:
+        """Checkpoint every live session (graceful-shutdown path)."""
+        with self._lock:
+            ids = [
+                sid
+                for sid, s in self._live.items()
+                if isinstance(s, SimulationSession)
+            ]
+        done = []
+        for session_id in ids:
+            try:
+                self.checkpoint(session_id)
+                done.append(session_id)
+            except UnknownSessionError:
+                continue
+        return done
+
+    def delete(self, session_id: str) -> None:
+        """Drop the live instance (without checkpointing) and remove any
+        checkpoint.  Busy sessions are not deleted (409)."""
+        with self._lock:
+            entry = self._live.get(session_id)
+        removed = False
+        if isinstance(entry, _Placeholder):
+            entry.wait()
+            return self.delete(session_id)
+        if isinstance(entry, SimulationSession):
+            if not entry.lock.acquire(blocking=False):
+                raise SessionBusyError(session_id)
+            try:
+                entry.evicted = True
+                with self._lock:
+                    if self._live.get(session_id) is entry:
+                        del self._live[session_id]
+                removed = True
+            finally:
+                entry.lock.release()
+        if self._store.delete(session_id) or removed:
+            return
+        raise UnknownSessionError(session_id)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def list_sessions(self) -> List[Dict[str, object]]:
+        """One row per session, live instances first, then checkpoints
+        that have no live instance."""
+        with self._lock:
+            live = {
+                sid: s
+                for sid, s in self._live.items()
+                if isinstance(s, SimulationSession)
+            }
+        rows = [s.info() for s in live.values()]
+        for session_id in self._store.list_ids():
+            if session_id not in live:
+                rows.append(self._store.describe(session_id))
+        rows.sort(key=lambda r: str(r["id"]))
+        return rows

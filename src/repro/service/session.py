@@ -1,0 +1,222 @@
+"""One live session: an engine instance plus its command journal.
+
+:class:`SimulationSession` extracts the *runnable* state of a simulation
+run out of :class:`~repro.simulation.AvmemSimulation`'s one-shot script
+shape: it owns the simulation (population, simulator clock, membership
+state), the :class:`~repro.ops.runner.OperationRunner`, the accumulated
+per-plan :class:`~repro.ops.log.OperationLog`\\ s, and a **private**
+:class:`~repro.telemetry.TelemetryRecorder` — nothing a session records
+touches the process-global singleton, so sessions are isolated and many
+can run concurrently in one server.
+
+Every state-mutating command (run a plan, advance the clock, step the
+event loop) is appended to the session's **journal** before it returns.
+The journal plus the :class:`~repro.service.spec.SessionSpec` is the
+session's durable identity: :meth:`SimulationSession.build` with a
+non-empty journal replays the commands in order against a fresh seeded
+simulation, and because all randomness flows through named independent
+:class:`~repro.util.randomness.RandomRouter` streams, the replayed run
+consumes every stream exactly as the original did — subsequent commands
+produce bit-identical records (the durability property the service
+tests assert).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.ops.log import OperationLog
+from repro.ops.plan import OperationPlan
+from repro.simulation import AvmemSimulation
+from repro.service.spec import SessionSpec
+from repro.telemetry import TelemetryRecorder, use_recorder
+
+__all__ = ["SimulationSession"]
+
+
+class SimulationSession:
+    """A running simulation addressable by id (see module docstring).
+
+    Construction is expensive (trace generation + warm-up); the
+    orchestrator always builds sessions outside its registry lock.
+    Callers mutate a session only while holding :attr:`lock` — the
+    orchestrator's ``run_command`` enforces this.
+    """
+
+    def __init__(self, session_id: str, spec: SessionSpec):
+        self.id = session_id
+        self.spec = spec
+        #: serializes command execution on this session; commands on
+        #: *different* sessions run concurrently
+        self.lock = threading.RLock()
+        #: set (under lock) when the orchestrator checkpoints and drops
+        #: this instance; a waiter that then acquires the lock must
+        #: re-fetch the session instead of mutating a zombie
+        self.evicted = False
+        self.telemetry = TelemetryRecorder(enabled=spec.telemetry)
+        self.journal: List[dict] = []
+        self.logs: List[OperationLog] = []
+        self.created_at = time.time()
+        self.last_used = time.monotonic()
+        # The whole object graph is built — and warmed up — under this
+        # session's recorder, so every substrate captures it for life.
+        with use_recorder(self.telemetry):
+            self.simulation = AvmemSimulation(
+                spec.settings, scenario_spec=spec.scenario
+            )
+            self.simulation.setup(warmup=spec.warmup, settle=spec.settle)
+
+    # ------------------------------------------------------------------
+    # Construction / restore
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        session_id: str,
+        spec: SessionSpec,
+        journal: Optional[List[dict]] = None,
+    ) -> "SimulationSession":
+        """Create a session; with a journal, replay it (restore path).
+
+        Replay re-executes every journaled command in order against the
+        freshly built simulation.  The per-plan logs are regenerated in
+        the process, so a restored session serves log queries without
+        having read a single stored log — the store keeps them anyway as
+        an integrity cross-check.
+        """
+        session = cls(session_id, spec)
+        for entry in journal or []:
+            session._apply(entry, record=True)
+        return session
+
+    def _apply(self, entry: dict, record: bool) -> object:
+        kind = entry.get("kind")
+        if kind == "plan":
+            return self._run_plan(OperationPlan.from_dict(entry["plan"]), record)
+        if kind == "advance":
+            return self._advance(float(entry["seconds"]), record)
+        if kind == "step":
+            return self._step(int(entry["count"]), record)
+        raise ValueError(f"unknown journal entry kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    # Commands (call under self.lock)
+    # ------------------------------------------------------------------
+    def run_plan(self, plan: OperationPlan) -> OperationLog:
+        """Execute ``plan``; journal it; return its log."""
+        return self._run_plan(plan, record=True)
+
+    def advance(self, seconds: float) -> Dict[str, object]:
+        """Run the simulator forward ``seconds`` of trace time."""
+        return self._advance(float(seconds), record=True)
+
+    def step(self, count: int) -> Dict[str, object]:
+        """Run at most ``count`` discrete events."""
+        return self._step(int(count), record=True)
+
+    def _run_plan(self, plan: OperationPlan, record: bool) -> OperationLog:
+        self.touch()
+        with use_recorder(self.telemetry):
+            log = self.simulation.ops.run(plan)
+        self.logs.append(log)
+        if record:
+            self.journal.append({"kind": "plan", "plan": plan.as_dict()})
+        return log
+
+    def _advance(self, seconds: float, record: bool) -> Dict[str, object]:
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        self.touch()
+        sim = self.simulation.sim
+        horizon = self.simulation.trace.horizon
+        target = sim.now + seconds
+        if target > horizon:
+            raise ValueError(
+                f"cannot advance to t={target:.0f}s past the trace horizon "
+                f"({horizon:.0f}s)"
+            )
+        with use_recorder(self.telemetry):
+            executed = sim.run_until(target)
+        if record:
+            self.journal.append({"kind": "advance", "seconds": seconds})
+        return {"now": sim.now, "events": executed}
+
+    def _step(self, count: int, record: bool) -> Dict[str, object]:
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        self.touch()
+        sim = self.simulation.sim
+        executed = 0
+        with use_recorder(self.telemetry):
+            for _ in range(count):
+                if not sim.step():
+                    break
+                executed += 1
+        if record:
+            self.journal.append({"kind": "step", "count": count})
+        return {"now": sim.now, "events": executed}
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def combined_log(self) -> OperationLog:
+        """Every plan's rows stacked in execution order."""
+        return OperationLog.concat(self.logs)
+
+    def log_for(self, plan_index: Optional[int] = None) -> OperationLog:
+        if plan_index is None:
+            return self.combined_log()
+        if not 0 <= plan_index < len(self.logs):
+            raise ValueError(
+                f"plan index {plan_index} out of range (session ran "
+                f"{len(self.logs)} plans)"
+            )
+        return self.logs[plan_index]
+
+    def aggregations(
+        self, by: Optional[List[str]] = None, plan_index: Optional[int] = None
+    ) -> Dict[str, object]:
+        """The log-poll payload: overall summary plus optional grouping."""
+        log = self.log_for(plan_index)
+        payload: Dict[str, object] = {
+            "plans": len(self.logs),
+            "rows": len(log),
+            "summary": log.summary(),
+        }
+        if by:
+            payload["groups"] = log.aggregate(by=tuple(by))
+        return payload
+
+    def telemetry_snapshot(self):
+        return self.telemetry.snapshot()
+
+    def touch(self) -> None:
+        self.last_used = time.monotonic()
+
+    def idle_seconds(self) -> float:
+        return time.monotonic() - self.last_used
+
+    def info(self) -> Dict[str, object]:
+        """The session-detail payload (also the list-row shape)."""
+        sim = self.simulation
+        return {
+            "id": self.id,
+            "status": "live",
+            "created_at": self.created_at,
+            "now": sim.sim.now,
+            "horizon": sim.trace.horizon,
+            "hosts": sim.settings.hosts,
+            "seed": sim.settings.seed,
+            "scenario": (
+                self.spec.scenario.name
+                if self.spec.scenario is not None
+                else sim.settings.scenario
+            ),
+            "online": len(sim.online_ids()),
+            "commands": len(self.journal),
+            "plans": len(self.logs),
+            "operations": int(sum(len(log) for log in self.logs)),
+            "telemetry": self.spec.telemetry,
+        }

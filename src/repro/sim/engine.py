@@ -28,7 +28,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-from repro.telemetry import TELEMETRY
+from repro.telemetry import current as current_telemetry
 
 __all__ = ["Simulator", "ScheduledEvent", "PeriodicTask", "SimulationError"]
 
@@ -109,6 +109,11 @@ class Simulator:
         self._events_processed = 0
         self._running = False
         self._stop_requested = False
+        # Captured once so the per-event hot path stays one attribute
+        # check; a simulator built under telemetry.use_recorder() (a
+        # service session) records into that session's recorder for its
+        # whole lifetime.
+        self._telemetry = current_telemetry()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -203,8 +208,8 @@ class Simulator:
             event = ScheduledEvent(float(time), callback, tuple(args))
             heapq.heappush(queue, _HeapEntry(event.time, next(counter), event))
             events.append(event)
-        if TELEMETRY.enabled:
-            TELEMETRY.observe("sim.schedule_cohort_size", len(events))
+        if self._telemetry.enabled:
+            self._telemetry.observe("sim.schedule_cohort_size", len(events))
         return events
 
     # ------------------------------------------------------------------
@@ -222,8 +227,8 @@ class Simulator:
         self._events_processed += 1
         # The whole per-event cost of telemetry while disabled is this
         # one attribute check (overhead-guarded in tests/test_telemetry.py).
-        if TELEMETRY.enabled:
-            TELEMETRY.event_tick(self)
+        if self._telemetry.enabled:
+            self._telemetry.event_tick(self)
         return True
 
     def run(self, max_events: Optional[int] = None) -> int:

@@ -221,7 +221,9 @@ class MetricsRegistry:
         survive JSON equality).  No-op while the recorder is disabled.
         """
         if recorder is None:
-            from repro.telemetry import TELEMETRY as recorder
+            from repro.telemetry import current
+
+            recorder = current()
         if not recorder.enabled:
             return
         for name, counter in sorted(self._counters.items()):

@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.sim.engine import Simulator
 from repro.sim.latency import LatencyModel, UniformLatency
-from repro.telemetry import TELEMETRY
+from repro.telemetry import current as current_telemetry
 
 __all__ = ["Network", "NetworkStats", "PresenceOracle", "Envelope", "DropReason"]
 
@@ -164,6 +164,9 @@ class Network:
             self.DEFAULT_BATCH_THRESHOLD if batch_threshold is None else int(batch_threshold)
         )
         self.stats = NetworkStats()
+        # Captured once (see Simulator): a network built under
+        # telemetry.use_recorder() records into that session's recorder.
+        self._telemetry = current_telemetry()
         self._handlers: Dict[NodeKey, Handler] = {}
         #: optional (begin, end) callbacks bracketing every multi-message
         #: delivery cohort — the operation engine hangs its wavefront
@@ -273,8 +276,8 @@ class Network:
                 sent += bool(self.send(src, dst, payload))
             return sent, 0
         now = self.sim.now
-        if TELEMETRY.enabled:
-            TELEMETRY.observe("net.batch_cohort_size", n)
+        if self._telemetry.enabled:
+            self._telemetry.observe("net.batch_cohort_size", n)
         if self.check_sender and not self.presence.is_online(src, now):
             self.stats.record_drop(DropReason.SRC_OFFLINE, count=n)
             return 0, 0
@@ -284,8 +287,8 @@ class Network:
         offline_count = int(n - np.count_nonzero(online))
         if offline_count:
             self.stats.record_drop(DropReason.DST_OFFLINE, count=offline_count)
-            if TELEMETRY.enabled:
-                TELEMETRY.count("net.drop.dst_offline", offline_count)
+            if self._telemetry.enabled:
+                self._telemetry.count("net.drop.dst_offline", offline_count)
         if suppress is not None:
             deliver_mask = online & ~suppress
             suppressed_live = np.flatnonzero(online & suppress)
@@ -301,8 +304,8 @@ class Network:
         else:
             deliver_mask = online
             suppressed_delivered = 0
-        if suppress is not None and TELEMETRY.enabled:
-            TELEMETRY.count(
+        if suppress is not None and self._telemetry.enabled:
+            self._telemetry.count(
                 "net.suppressed_duplicates", int(np.count_nonzero(suppress))
             )
         live = np.flatnonzero(deliver_mask)
@@ -360,8 +363,8 @@ class Network:
                 wired[k] = self.send(src, dst, payload)
             return wired
         now = self.sim.now
-        if TELEMETRY.enabled:
-            TELEMETRY.observe("net.wavefront_cohort_size", n)
+        if self._telemetry.enabled:
+            self._telemetry.observe("net.wavefront_cohort_size", n)
         if self.check_sender:
             src_online = self._presence_array([item[0] for item in items], now)
         else:
@@ -385,8 +388,8 @@ class Network:
             self.stats.record_drop(
                 DropReason.DST_OFFLINE, count=int(m - deliverable.size)
             )
-            if TELEMETRY.enabled:
-                TELEMETRY.count(
+            if self._telemetry.enabled:
+                self._telemetry.count(
                     "net.drop.dst_offline", int(m - deliverable.size)
                 )
         if not deliverable.size:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
+from dataclasses import fields as dataclass_fields
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -53,7 +54,7 @@ from repro.overlays.random_overlay import degree_matched_random_predicate
 from repro.sim.engine import Simulator
 from repro.sim.latency import PAPER_HOP_LATENCY
 from repro.sim.network import Network
-from repro.telemetry import TELEMETRY
+from repro.telemetry import current as current_telemetry
 from repro.util.randomness import RandomRouter
 
 __all__ = ["SimulationSettings", "AvmemSimulation"]
@@ -153,6 +154,25 @@ class SimulationSettings:
     def horizon(self) -> float:
         return self.epochs * self.epoch_seconds
 
+    def as_dict(self) -> dict:
+        """All-primitive dict, exact round-trip through
+        :meth:`from_dict` — what session manifests persist so a service
+        restart can rebuild the identical simulation."""
+        payload = {
+            f.name: getattr(self, f.name)
+            for f in dataclass_fields(self)
+            if f.name != "config"
+        }
+        payload["config"] = self.config.as_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SimulationSettings":
+        payload = dict(payload)
+        if isinstance(payload.get("config"), dict):
+            payload["config"] = AvmemConfig.from_dict(payload["config"])
+        return cls(**payload)
+
 
 class AvmemSimulation:
     """A fully wired AVMEM system over a synthetic Overnet trace.
@@ -172,10 +192,33 @@ class AvmemSimulation:
     >>> log = sim.ops.run(OperationPlan.single(item))
     """
 
-    def __init__(self, settings: Optional[SimulationSettings] = None):
+    def __init__(
+        self,
+        settings: Optional[SimulationSettings] = None,
+        scenario_spec=None,
+        trace: Optional[ChurnTrace] = None,
+    ):
+        """Build every substrate for ``settings``.
+
+        ``scenario_spec`` supplies an inline
+        :class:`~repro.scenarios.spec.ScenarioSpec` instead of a registry
+        lookup of ``settings.scenario`` (the service layer creates
+        sessions from ScenarioSpec JSON this way).  ``trace`` injects a
+        pre-generated churn trace — e.g. one reopened from a
+        checkpoint's spilled timeline — skipping trace generation; the
+        injected trace must be the one the settings would generate
+        (streams are per-name independent, so skipping the ``"churn"``
+        draws perturbs nothing else).
+        """
         self.settings = settings if settings is not None else SimulationSettings()
+        self._scenario_override = scenario_spec
+        self._trace_override = trace
         self._router = RandomRouter(self.settings.seed)
-        with TELEMETRY.span("sim.build"):
+        #: the recorder this simulation's instrumentation routes into,
+        #: captured from the active telemetry context at construction
+        #: (the process-wide default unless built under ``use_recorder``)
+        self.telemetry = current_telemetry()
+        with self.telemetry.span("sim.build"):
             self._build()
         self._ready = False
         self._ops_runner: Optional[OperationRunner] = None
@@ -186,18 +229,26 @@ class AvmemSimulation:
     def _build(self) -> None:
         s = self.settings
         self.node_ids: List[NodeId] = make_node_ids(s.hosts)
-        self.scenario_spec = None
-        if s.scenario is not None:
-            from repro.scenarios.registry import get_scenario
+        self.scenario_spec = self._scenario_override
+        if self._trace_override is not None:
+            self.trace: ChurnTrace = self._trace_override
+            if len(self.trace.nodes) != s.hosts:
+                raise ValueError(
+                    f"injected trace covers {len(self.trace.nodes)} nodes, "
+                    f"settings expect {s.hosts}"
+                )
+        elif self.scenario_spec is not None or s.scenario is not None:
+            if self.scenario_spec is None:
+                from repro.scenarios.registry import get_scenario
 
-            self.scenario_spec = get_scenario(s.scenario)
+                self.scenario_spec = get_scenario(s.scenario)
             compiled = self.scenario_spec.compile(
                 hosts=s.hosts,
                 epochs=s.epochs,
                 epoch_seconds=s.epoch_seconds,
                 rng=self._router.get("churn"),
             )
-            self.trace: ChurnTrace = compiled.to_trace(self.node_ids)
+            self.trace = compiled.to_trace(self.node_ids)
         else:
             trace_config = OvernetTraceConfig(
                 hosts=s.hosts,
@@ -353,18 +404,18 @@ class AvmemSimulation:
             )
         if settle < 0 or settle > warmup:
             raise ValueError(f"settle must be in [0, warmup], got {settle}")
-        with TELEMETRY.span("sim.setup"):
+        with self.telemetry.span("sim.setup"):
             if s.bootstrap == "protocol":
                 self._start_protocols(s.protocols if s.protocols != "off" else "full")
-                with TELEMETRY.span("sim.warmup"):
+                with self.telemetry.span("sim.warmup"):
                     self.sim.run_until(warmup)
             else:
-                with TELEMETRY.span("sim.warmup"):
+                with self.telemetry.span("sim.warmup"):
                     self.sim.run_until(warmup - settle)
                 self._direct_bootstrap()
                 if s.protocols != "off":
                     self._start_protocols(s.protocols)
-                with TELEMETRY.span("sim.warmup"):
+                with self.telemetry.span("sim.warmup"):
                     self.sim.run_until(warmup)
         self._ready = True
 
@@ -427,7 +478,7 @@ class AvmemSimulation:
             np.array([self.oracle.query(node) for node in self.node_ids], dtype=float)
         )
         avs = pop.availabilities
-        with TELEMETRY.span("overlay.build"):
+        with self.telemetry.span("overlay.build"):
             src, dst, horizontal = self.predicate.evaluate_all_rows(
                 pop.digests, avs, method=self.settings.overlay_method
             )
@@ -438,7 +489,7 @@ class AvmemSimulation:
             overlay = OverlayGraph(
                 None, None, src[keep], dst[keep], horizontal[keep], population=pop
             )
-        with TELEMETRY.span("overlay.install"):
+        with self.telemetry.span("overlay.install"):
             for i, node_id in enumerate(self.node_ids):
                 node = self.nodes[node_id]
                 # Prime the node's own availability cache with the

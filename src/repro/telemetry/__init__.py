@@ -30,7 +30,13 @@ back a shared no-op context manager)::
         ...
 """
 
-from repro.telemetry.core import TELEMETRY, Histogram, TelemetryRecorder
+from repro.telemetry.core import (
+    TELEMETRY,
+    Histogram,
+    TelemetryRecorder,
+    current,
+    use_recorder,
+)
 from repro.telemetry.progress import ProgressReporter
 from repro.telemetry.render import render_diff, render_snapshot
 from repro.telemetry.rss import current_rss_mb, peak_rss_mb, ru_maxrss_to_mb
@@ -38,6 +44,8 @@ from repro.telemetry.snapshot import SpanStat, TelemetrySnapshot
 
 __all__ = [
     "TELEMETRY",
+    "current",
+    "use_recorder",
     "TelemetryRecorder",
     "Histogram",
     "TelemetrySnapshot",

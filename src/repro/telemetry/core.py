@@ -34,12 +34,21 @@ round-trip.
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 import time
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["TelemetryRecorder", "Histogram", "TELEMETRY", "NULL_SPAN"]
+__all__ = [
+    "TelemetryRecorder",
+    "Histogram",
+    "TELEMETRY",
+    "NULL_SPAN",
+    "current",
+    "use_recorder",
+]
 
 #: number of power-of-two buckets a histogram keeps (2^62 tops out any
 #: conceivable cohort size)
@@ -353,5 +362,50 @@ class TelemetryRecorder:
         )
 
 
-#: The process-wide recorder every hook point consults.
+#: The process-wide *default* recorder.  Hook points resolve their
+#: recorder through :func:`current`, which falls back to this singleton
+#: when no per-session recorder is active — so single-run CLI paths and
+#: benchmarks keep the historical ``TELEMETRY.enable()`` behaviour
+#: unchanged.
 TELEMETRY = TelemetryRecorder(enabled=False)
+
+#: The active per-context recorder override (None -> the ``TELEMETRY``
+#: default).  A :class:`~repro.service.session.SimulationSession` routes
+#: its engine's instrumentation into a private recorder by building and
+#: executing under :func:`use_recorder`; concurrent sessions on separate
+#: threads see their own value because ``contextvars`` contexts are
+#: per-thread.
+_ACTIVE: "contextvars.ContextVar[Optional[TelemetryRecorder]]" = (
+    contextvars.ContextVar("avmem-telemetry-recorder", default=None)
+)
+
+
+def current() -> TelemetryRecorder:
+    """The recorder hook points should record into *right now*.
+
+    Returns the recorder installed by the innermost active
+    :func:`use_recorder` context, or the process-wide :data:`TELEMETRY`
+    default when none is.  Long-lived engine objects (the simulator, the
+    network, the operation engine) capture ``current()`` once at
+    construction so their per-event hot paths keep paying exactly one
+    attribute check; module-level cold phases call it per invocation.
+    """
+    recorder = _ACTIVE.get()
+    return TELEMETRY if recorder is None else recorder
+
+
+@contextlib.contextmanager
+def use_recorder(recorder: TelemetryRecorder):
+    """Route :func:`current` to ``recorder`` inside the ``with`` body.
+
+    Nestable and exception-safe; the previous recorder is restored on
+    exit.  This is the session-orchestrator hook: every command a
+    :class:`~repro.service.session.SimulationSession` executes runs under
+    its own recorder, so concurrent sessions in one process never share
+    (or perturb) each other's telemetry.
+    """
+    token = _ACTIVE.set(recorder)
+    try:
+        yield recorder
+    finally:
+        _ACTIVE.reset(token)

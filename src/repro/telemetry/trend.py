@@ -1,0 +1,178 @@
+"""Cross-run phase-time trends over a directory of BENCH JSON records.
+
+Benchmarks emit ``BENCH_<name>.json`` files with an embedded telemetry
+phase table (``{"telemetry": {"phases": [{"phase", "count", "seconds",
+"self_seconds"}, ...]}}``).  :func:`collect_runs` walks a directory tree
+for such records, groups them by benchmark name, and orders each group
+by the record's ``timestamp`` (file mtime for records predating that
+field); :func:`phase_trends` then reports, per benchmark and phase, the
+first→last self-seconds trajectory and flags regressions past a
+relative threshold.  ``avmem telemetry trend DIR`` renders the result.
+
+Only records carrying a phase table participate — a BENCH file written
+with telemetry disabled is listed as skipped, not an error, so mixed
+result directories stay usable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["BenchRun", "PhaseTrend", "collect_runs", "phase_trends", "render_trends"]
+
+
+@dataclass(frozen=True)
+class BenchRun:
+    """One BENCH_*.json record that carries a telemetry phase table."""
+
+    benchmark: str
+    path: str
+    timestamp: float
+    wall_seconds: Optional[float]
+    #: phase -> (count, seconds, self_seconds)
+    phases: Dict[str, Tuple[int, float, float]]
+
+
+@dataclass(frozen=True)
+class PhaseTrend:
+    """One (benchmark, phase) trajectory across ordered runs."""
+
+    benchmark: str
+    phase: str
+    runs: int
+    first_self_seconds: float
+    last_self_seconds: float
+
+    @property
+    def delta_seconds(self) -> float:
+        return self.last_self_seconds - self.first_self_seconds
+
+    @property
+    def ratio(self) -> float:
+        """last/first; inf when the phase appeared from zero."""
+        if self.first_self_seconds > 0:
+            return self.last_self_seconds / self.first_self_seconds
+        return float("inf") if self.last_self_seconds > 0 else 1.0
+
+    def regressed(self, threshold: float, min_seconds: float) -> bool:
+        """Slower by more than ``threshold`` (relative) *and* by at least
+        ``min_seconds`` absolute — tiny phases jitter far above any
+        sensible ratio, so both gates must trip."""
+        return (
+            self.delta_seconds >= min_seconds
+            and self.ratio >= 1.0 + threshold
+        )
+
+
+def _load_record(path: str) -> Optional[BenchRun]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            record = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(record, dict) or "benchmark" not in record:
+        return None
+    telemetry = record.get("telemetry") or {}
+    rows = telemetry.get("phases") or []
+    phases = {
+        str(row["phase"]): (
+            int(row.get("count", 0)),
+            float(row.get("seconds", 0.0)),
+            float(row.get("self_seconds", 0.0)),
+        )
+        for row in rows
+        if isinstance(row, dict) and "phase" in row
+    }
+    if not phases:
+        return None
+    timestamp = record.get("timestamp")
+    if timestamp is None:
+        timestamp = os.path.getmtime(path)
+    return BenchRun(
+        benchmark=str(record["benchmark"]),
+        path=path,
+        timestamp=float(timestamp),
+        wall_seconds=telemetry.get("wall_seconds"),
+        phases=phases,
+    )
+
+
+def collect_runs(directory: str) -> Tuple[Dict[str, List[BenchRun]], List[str]]:
+    """(benchmark -> time-ordered runs, skipped file paths).
+
+    Walks ``directory`` recursively for ``BENCH_*.json``; files without
+    an embedded phase table land in the skipped list.
+    """
+    groups: Dict[str, List[BenchRun]] = {}
+    skipped: List[str] = []
+    for root, __, names in sorted(os.walk(directory)):
+        for name in sorted(names):
+            if not (name.startswith("BENCH_") and name.endswith(".json")):
+                continue
+            path = os.path.join(root, name)
+            run = _load_record(path)
+            if run is None:
+                skipped.append(path)
+            else:
+                groups.setdefault(run.benchmark, []).append(run)
+    for runs in groups.values():
+        runs.sort(key=lambda r: (r.timestamp, r.path))
+    return groups, skipped
+
+
+def phase_trends(groups: Dict[str, List[BenchRun]]) -> List[PhaseTrend]:
+    """First→last trajectory per (benchmark, phase), sorted by benchmark
+    then descending last self-seconds (the expensive phases first)."""
+    out: List[PhaseTrend] = []
+    for benchmark in sorted(groups):
+        runs = groups[benchmark]
+        phases = sorted({phase for run in runs for phase in run.phases})
+        for phase in phases:
+            present = [run for run in runs if phase in run.phases]
+            out.append(
+                PhaseTrend(
+                    benchmark=benchmark,
+                    phase=phase,
+                    runs=len(present),
+                    first_self_seconds=present[0].phases[phase][2],
+                    last_self_seconds=present[-1].phases[phase][2],
+                )
+            )
+    out.sort(key=lambda t: (t.benchmark, -t.last_self_seconds))
+    return out
+
+
+def render_trends(
+    trends: List[PhaseTrend],
+    threshold: float = 0.25,
+    min_seconds: float = 0.05,
+) -> str:
+    """The CLI table; regressed rows carry a trailing ``<-- regression``."""
+    if not trends:
+        return "no BENCH records with telemetry phase tables found"
+    lines = []
+    width = max(len(t.phase) for t in trends)
+    benchmark = None
+    for trend in trends:
+        if trend.benchmark != benchmark:
+            benchmark = trend.benchmark
+            lines.append(f"{benchmark} ({trend.runs} run(s)):")
+            lines.append(
+                f"  {'phase':<{width}}  {'first':>9}  {'last':>9}  "
+                f"{'delta':>9}  ratio"
+            )
+        flag = (
+            "  <-- regression"
+            if trend.regressed(threshold, min_seconds)
+            else ""
+        )
+        ratio = "inf" if trend.ratio == float("inf") else f"{trend.ratio:.2f}x"
+        lines.append(
+            f"  {trend.phase:<{width}}  {trend.first_self_seconds:>8.3f}s  "
+            f"{trend.last_self_seconds:>8.3f}s  {trend.delta_seconds:>+8.3f}s  "
+            f"{ratio}{flag}"
+        )
+    return "\n".join(lines)

@@ -17,7 +17,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.telemetry import TELEMETRY
+from repro.telemetry import current as current_telemetry
 
 __all__ = ["spill", "open_array", "array_path"]
 
@@ -32,7 +32,8 @@ def spill(array: np.ndarray, directory: Optional[str], name: str) -> np.ndarray:
     in-RAM array passes through), so call sites need no branching."""
     if directory is None:
         return array
-    with TELEMETRY.span("overlay.spill"):
+    telemetry = current_telemetry()
+    with telemetry.span("overlay.spill"):
         os.makedirs(directory, exist_ok=True)
         array = np.ascontiguousarray(array)
         mapped = np.lib.format.open_memmap(
@@ -40,8 +41,8 @@ def spill(array: np.ndarray, directory: Optional[str], name: str) -> np.ndarray:
         )
         mapped[...] = array
         mapped.flush()
-    if TELEMETRY.enabled:
-        TELEMETRY.count("overlay.spilled_bytes", int(array.nbytes))
+    if telemetry.enabled:
+        telemetry.count("overlay.spilled_bytes", int(array.nbytes))
     return mapped
 
 

@@ -176,3 +176,89 @@ class TestTelemetryCli:
             paths.append(str(p))
         with pytest.raises(SystemExit):
             main(["telemetry", "summarize", *paths])
+
+
+class TestTelemetryTrend:
+    @staticmethod
+    def _bench_record(name, timestamp, phases):
+        return {
+            "benchmark": name,
+            "timestamp": timestamp,
+            "telemetry": {
+                "wall_seconds": sum(s for __, s, __s in phases.values()),
+                "phases": [
+                    {
+                        "phase": phase,
+                        "count": count,
+                        "seconds": seconds,
+                        "self_seconds": self_seconds,
+                    }
+                    for phase, (count, seconds, self_seconds) in phases.items()
+                ],
+            },
+        }
+
+    def _write_runs(self, tmp_path):
+        first = self._bench_record(
+            "ops", 100.0,
+            {"sim.run": (10, 2.0, 1.0), "overlay.build": (1, 0.5, 0.5)},
+        )
+        second = self._bench_record(
+            "ops", 200.0,
+            {"sim.run": (10, 4.0, 2.0), "overlay.build": (1, 0.5, 0.5)},
+        )
+        (tmp_path / "BENCH_ops_a.json").write_text(json.dumps(first))
+        (tmp_path / "BENCH_ops_b.json").write_text(json.dumps(second))
+        # a record without a phase table (telemetry was off) is skipped
+        (tmp_path / "BENCH_plain.json").write_text(
+            json.dumps({"benchmark": "plain", "timestamp": 50.0})
+        )
+
+    def test_trend_reports_and_flags_regression(self, tmp_path, capsys):
+        self._write_runs(tmp_path)
+        assert main(["telemetry", "trend", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "ops (2 run(s)):" in out
+        assert "sim.run" in out
+        assert "<-- regression" in out
+        assert "2.00x" in out
+        assert "skipped (no phase table)" in out
+        assert "1 phase(s) regressed" in out
+
+    def test_fail_on_regression_exit_code(self, tmp_path, capsys):
+        self._write_runs(tmp_path)
+        assert main([
+            "telemetry", "trend", str(tmp_path), "--fail-on-regression",
+        ]) == 1
+        # raising the threshold past 2x clears the failure
+        assert main([
+            "telemetry", "trend", str(tmp_path),
+            "--fail-on-regression", "--threshold", "1.5",
+        ]) == 0
+
+    def test_trend_rejects_missing_directory(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["telemetry", "trend", str(tmp_path / "nope")])
+
+    def test_trend_empty_directory(self, tmp_path, capsys):
+        assert main(["telemetry", "trend", str(tmp_path)]) == 0
+        assert "no BENCH records" in capsys.readouterr().out
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 8414
+        assert args.host == "127.0.0.1"
+        assert args.state_dir == "avmem-sessions"
+        assert args.idle_timeout is None
+
+    def test_serve_overrides(self):
+        args = build_parser().parse_args([
+            "serve", "--port", "9000", "--state-dir", "/tmp/x",
+            "--idle-timeout", "30",
+        ])
+        assert args.port == 9000
+        assert args.state_dir == "/tmp/x"
+        assert args.idle_timeout == pytest.approx(30.0)

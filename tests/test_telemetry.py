@@ -506,3 +506,75 @@ class TestProgressReporter:
         clock.now = 1.5
         assert reporter.poke(context="overlay.candidates")
         assert "overlay.candidates" in stream.getvalue()
+
+
+class TestContextRouting:
+    """current()/use_recorder() — the per-session routing layer."""
+
+    def test_default_is_singleton(self):
+        from repro.telemetry import current
+
+        assert current() is TELEMETRY
+
+    def test_use_recorder_overrides_and_restores(self, recorder):
+        from repro.telemetry import current, use_recorder
+
+        with use_recorder(recorder) as active:
+            assert active is recorder
+            assert current() is recorder
+        assert current() is TELEMETRY
+
+    def test_nested_contexts_unwind_in_order(self, recorder):
+        from repro.telemetry import current, use_recorder
+
+        inner = TelemetryRecorder(enabled=True)
+        with use_recorder(recorder):
+            with use_recorder(inner):
+                assert current() is inner
+            assert current() is recorder
+        assert current() is TELEMETRY
+
+    def test_restored_on_exception(self, recorder):
+        from repro.telemetry import current, use_recorder
+
+        with pytest.raises(RuntimeError):
+            with use_recorder(recorder):
+                raise RuntimeError("boom")
+        assert current() is TELEMETRY
+
+    def test_threads_see_their_own_recorder(self):
+        import threading
+
+        from repro.telemetry import current, use_recorder
+
+        results = {}
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            mine = TelemetryRecorder(enabled=True)
+            with use_recorder(mine):
+                barrier.wait(5.0)  # both threads inside their contexts
+                with current().span(f"phase.{name}"):
+                    pass
+                results[name] = current().snapshot()
+
+        threads = [threading.Thread(target=work, args=(n,)) for n in ("a", "b")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10.0)
+        assert results["a"].find_span("phase.a") is not None
+        assert results["a"].find_span("phase.b") is None
+        assert results["b"].find_span("phase.b") is not None
+        assert results["b"].find_span("phase.a") is None
+
+    def test_spans_land_in_active_recorder_not_singleton(self, recorder):
+        from repro.telemetry import use_recorder
+
+        with use_recorder(recorder):
+            from repro.telemetry import current
+
+            with current().span("routed.phase"):
+                pass
+        assert recorder.snapshot().find_span("routed.phase") is not None
+        assert TELEMETRY.snapshot().find_span("routed.phase") is None

@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""CI smoke for the simulation service: kill-and-restart durability.
+
+Starts a real ``repro serve`` subprocess, drives it over HTTP (create a
+session, run an operation plan, advance the clock, checkpoint), kills
+the process with SIGKILL — no graceful shutdown hook gets to run — then
+restarts the server on the same state directory and verifies:
+
+1. the session is listed as ``checkpointed`` after restart;
+2. its log aggregations match the pre-kill values exactly (the restore
+   replays the journal against a fresh seeded simulation);
+3. a follow-up plan on the restored session produces the same summary
+   as an uninterrupted in-process twin executing the identical command
+   sequence — the bit-identical-continuation property.
+
+Exit status 0 on success; any mismatch or server failure is fatal.
+
+Usage::
+
+    PYTHONPATH=src python tools/service_smoke.py [--keep-state]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.http import scrub_json  # noqa: E402
+
+SPEC = {
+    "settings": {"hosts": 100, "epochs": 12, "seed": 7},
+    "warmup": 4500.0,
+    "settle": 700.0,
+}
+
+PLAN = {
+    "items": [
+        {
+            "kind": "anycast",
+            "target": {"kind": "range", "lo": 0.5, "hi": 1.0},
+            "count": 5,
+            "band": "mid",
+            "timing": {"mode": "interval", "spacing": 2.0},
+        },
+        {
+            "kind": "multicast",
+            "target": {"kind": "range", "lo": 0.5, "hi": 1.0},
+            "count": 1,
+            "band": "high",
+            "timing": {"mode": "interval", "spacing": 5.0, "phase": 12.0},
+        },
+    ],
+    "settle": 20.0,
+    "name": "smoke",
+}
+
+FOLLOW = dict(PLAN, name="smoke-after-restart")
+
+
+def free_port() -> int:
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def spawn_server(port: int, state_dir: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.abspath("src"), env.get("PYTHONPATH")])
+    )
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--host", "127.0.0.1", "--port", str(port),
+            "--state-dir", state_dir,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def wait_healthy(url: str, process: subprocess.Popen, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise SystemExit(f"server exited early:\n{process.stdout.read()}")
+        try:
+            with urllib.request.urlopen(f"{url}/healthz", timeout=1.0):
+                return
+        except OSError:
+            time.sleep(0.1)
+    raise SystemExit("server did not become healthy in time")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument(
+        "--keep-state", action="store_true",
+        help="leave the state directory on disk for inspection",
+    )
+    args = parser.parse_args()
+
+    state_dir = tempfile.mkdtemp(prefix="avmem-service-smoke-")
+    port = free_port()
+    url = f"http://127.0.0.1:{port}"
+    client = ServiceClient(url)
+
+    print(f"[1/4] starting server on {url} (state dir {state_dir})")
+    first = spawn_server(port, state_dir)
+    try:
+        wait_healthy(url, first)
+        info = client.create_session(id="smoke", **SPEC)
+        print(f"      session created: {info['hosts']} hosts, t={info['now']:.0f}s")
+        result = client.run_plan("smoke", PLAN)
+        assert result["rows"] == 6, result
+        client.advance("smoke", 90.0)
+        client.checkpoint("smoke")
+        before = client.log("smoke", by=["kind"])
+        print(
+            f"      plan executed: {before['rows']} operations, success "
+            f"{before['summary']['success_rate']:.2f}; checkpointed"
+        )
+    finally:
+        print("[2/4] SIGKILL server (no graceful shutdown)")
+        first.send_signal(signal.SIGKILL)
+        first.wait(10.0)
+
+    print("[3/4] restarting on the same state directory")
+    second = spawn_server(port, state_dir)
+    try:
+        wait_healthy(url, second)
+        rows = client.list_sessions()
+        assert [(r["id"], r["status"]) for r in rows] == [("smoke", "checkpointed")], rows
+        after = client.log("smoke", by=["kind"])
+        assert after == before, (
+            "restored aggregations differ from pre-kill values:\n"
+            f"before={json.dumps(before, indent=2)}\n"
+            f"after={json.dumps(after, indent=2)}"
+        )
+        print("      restore verified: aggregations identical to pre-kill")
+        restored_result = client.run_plan("smoke", FOLLOW)
+        final = client.log("smoke", by=["kind"])
+    finally:
+        second.send_signal(signal.SIGTERM)
+        try:
+            second.wait(15.0)
+        except subprocess.TimeoutExpired:
+            second.kill()
+            second.wait(10.0)
+
+    print("[4/4] comparing follow-up plan against an uninterrupted twin")
+    from repro.ops.plan import OperationPlan
+    from repro.service.session import SimulationSession
+    from repro.service.spec import SessionSpec
+
+    twin = SimulationSession.build("twin", SessionSpec.from_request(dict(SPEC)))
+    twin.run_plan(OperationPlan.from_dict(PLAN))
+    twin.advance(90.0)
+    twin_log = twin.run_plan(OperationPlan.from_dict(FOLLOW))
+    assert restored_result["rows"] == len(twin_log), (
+        restored_result["rows"], len(twin_log),
+    )
+    twin_agg = json.loads(json.dumps(scrub_json({
+        "plans": len(twin.logs),
+        "rows": len(twin.combined_log()),
+        "summary": twin.combined_log().summary(),
+        "groups": twin.combined_log().aggregate(by=("kind",)),
+    })))
+    assert final == twin_agg, (
+        "post-restart continuation diverged from the uninterrupted twin:\n"
+        f"service={json.dumps(final, indent=2)}\n"
+        f"twin={json.dumps(twin_agg, indent=2)}"
+    )
+    print("      continuation verified: identical to uninterrupted run")
+
+    if args.keep_state:
+        print(f"state kept at {state_dir}")
+    else:
+        shutil.rmtree(state_dir, ignore_errors=True)
+    print("service smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
