@@ -35,7 +35,6 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from bench_util import emit_bench_json
 from repro.churn.overnet import OvernetTraceConfig, generate_overnet_trace
 from repro.core.ids import make_node_ids
 from repro.ops.plan import OperationItem, OperationPlan, OperationTiming
@@ -44,6 +43,8 @@ from repro.sim.engine import Simulator
 from repro.sim.latency import PAPER_HOP_LATENCY
 from repro.sim.network import Network
 from repro.simulation import AvmemSimulation, SimulationSettings
+
+from bench_util import emit_bench_json
 
 SPEEDUP_BAR = 3.0
 #: separate bar for the anycast-heavy (wavefront) plan — forwarding

@@ -46,13 +46,14 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from bench_util import emit_bench_json
 from repro.core.ids import make_node_ids
 from repro.ops.log import OperationLog
 from repro.ops.plan import OperationItem, OperationPlan, OperationTiming
 from repro.ops.results import AnycastRecord, AnycastStatus, MulticastRecord
 from repro.ops.spec import InitiatorBand, TargetSpec
 from repro.simulation import AvmemSimulation, SimulationSettings
+
+from bench_util import emit_bench_json
 
 DEFAULT_SIZES = (1_000, 10_000, 50_000)
 BANDS = (InitiatorBand.LOW, InitiatorBand.MID, InitiatorBand.HIGH)

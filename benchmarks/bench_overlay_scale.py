@@ -54,7 +54,6 @@ from typing import Dict, List, Sequence
 import networkx as nx
 import numpy as np
 
-from bench_util import emit_bench_json, peak_rss_mb
 from repro.core.availability import AvailabilityPdf
 from repro.core.hashing import Affine64PairHash
 from repro.core.ids import NodeId, make_node_ids
@@ -62,6 +61,8 @@ from repro.core.membership import MemberEntry, MembershipLists
 from repro.core.population import Population
 from repro.core.predicates import AvmemPredicate, NodeDescriptor, SliverKind
 from repro.overlays.graphs import OverlayGraph
+
+from bench_util import emit_bench_json, peak_rss_mb
 
 DEFAULT_SIZES = (1_000, 5_000, 20_000)
 #: the candidate-generated O(N*k) path scales well past the N x N

@@ -34,13 +34,14 @@ import time
 
 import numpy as np
 
-from bench_util import emit_bench_json, peak_rss_mb
 from repro.churn.timeline import ChurnTimeline
 from repro.core.availability import AvailabilityPdf
 from repro.core.hashing import Affine64PairHash
 from repro.core.population import Population
 from repro.core.predicates import paper_predicate
 from repro.overlays.graphs import OverlayGraph
+
+from bench_util import emit_bench_json, peak_rss_mb
 
 PARITY_N = 3_000
 QUICK_N = 100_000

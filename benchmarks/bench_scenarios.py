@@ -51,7 +51,6 @@ from typing import Dict, List
 
 import numpy as np
 
-from bench_util import emit_bench_json
 from repro.churn.trace import ChurnTrace
 from repro.core.ids import make_node_ids
 from repro.monitor.cache import CachedAvailabilityView
@@ -59,6 +58,8 @@ from repro.monitor.oracle import OracleAvailability
 from repro.scenarios.registry import get_scenario
 from repro.sim.engine import Simulator
 from repro.util.randomness import derive_seed
+
+from bench_util import emit_bench_json
 
 DEFAULT_SIZES = (1_000, 5_000, 20_000)
 SCENARIO = "pareto-heavy-tail"

@@ -36,13 +36,14 @@ import threading
 import time
 from typing import Dict, List
 
-from bench_util import emit_bench_json
-from repro.telemetry import TELEMETRY
 from repro.service.client import ServiceClient
 from repro.service.http import make_server
 from repro.service.orchestrator import SessionOrchestrator
 from repro.service.spec import SessionSpec
 from repro.service.store import SessionStore
+from repro.telemetry import TELEMETRY
+
+from bench_util import emit_bench_json
 
 SPEC = {
     "settings": {"hosts": 120, "epochs": 16, "seed": 11},

@@ -1,0 +1,50 @@
+"""avmemlint — project-specific static analysis for the AVMEM repo.
+
+An AST-based invariant checker (``repro lint``) that makes the repo's
+*dynamically* enforced properties machine-checked at review time:
+
+* **determinism** — all randomness routes through
+  :class:`~repro.util.randomness.RandomRouter` streams; no wall-clock
+  reads or unordered-set iteration in engine paths
+  (``random-module``, ``np-random``, ``wall-clock``, ``set-iteration``);
+* **row-space hot loops** — per-node Python loops in hot modules are
+  enumerated as the 1M-node burn-down list (``hot-loop``);
+* **service lock discipline** — mutating methods of lock-guarded
+  service classes hold the session lock or are only reachable from
+  lock-holding callers (``lock-discipline``);
+* **journal coverage** — state-mutating session commands append to the
+  command journal, keeping journal-replay durability exact
+  (``journal-coverage``).
+
+Existing debt lives in the committed baseline (``lint-baseline.json``);
+CI gates on *new* findings and on stale baseline entries.  See
+``docs/static-analysis.md``.
+"""
+
+from repro.analysis.base import DEFAULT_CONFIG, LintConfig, ModuleContext, Rule
+from repro.analysis.baseline import Baseline, BaselineComparison
+from repro.analysis.findings import Finding, Suppression, parse_suppressions
+from repro.analysis.runner import (
+    build_registry,
+    compare_to_baseline,
+    render_json,
+    render_text,
+    run_lint,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineComparison",
+    "DEFAULT_CONFIG",
+    "Finding",
+    "LintConfig",
+    "ModuleContext",
+    "Rule",
+    "Suppression",
+    "build_registry",
+    "compare_to_baseline",
+    "parse_suppressions",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

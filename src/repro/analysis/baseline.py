@@ -1,0 +1,106 @@
+"""The committed findings baseline: tracked debt, not ignored debt.
+
+The baseline maps finding fingerprints (line-number independent; see
+:meth:`~repro.analysis.findings.Finding.fingerprint`) to occurrence
+counts.  Comparing a run against it splits findings three ways:
+
+* **new** — fingerprints absent from the baseline, or present with more
+  occurrences than recorded.  CI gates on these (``--fail-on-new``).
+* **baselined** — known debt, reported but not failing.
+* **stale** — baseline entries the tree no longer produces.  Paid-down
+  debt must be *removed* from the baseline (``--write-baseline``), so
+  the burn-down list stays honest (``--fail-on-stale``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Baseline", "BaselineComparison", "BASELINE_FORMAT"]
+
+BASELINE_FORMAT = "avmemlint-baseline-v1"
+
+
+@dataclass
+class BaselineComparison:
+    new: List[Finding]
+    baselined: List[Finding]
+    stale: List[Dict[str, object]]  # baseline entries no longer produced
+
+
+class Baseline:
+    """Fingerprint → {entry metadata, count} with exact JSON round-trip."""
+
+    def __init__(self, entries: Dict[str, Dict[str, object]]):
+        self.entries = entries
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls({})
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        entries: Dict[str, Dict[str, object]] = {}
+        for finding in sorted(findings, key=Finding.sort_key):
+            fp = finding.fingerprint()
+            if fp in entries:
+                entries[fp]["count"] = int(entries[fp]["count"]) + 1
+            else:
+                entries[fp] = {
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "symbol": finding.symbol,
+                    "snippet": finding.snippet,
+                    "count": 1,
+                }
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if payload.get("format") != BASELINE_FORMAT:
+            raise ValueError(
+                f"{path}: not an avmemlint baseline "
+                f"(format {payload.get('format')!r})"
+            )
+        return cls(dict(payload.get("entries", {})))
+
+    def save(self, path: str) -> None:
+        payload = {"format": BASELINE_FORMAT, "entries": self.entries}
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def compare(self, findings: List[Finding]) -> BaselineComparison:
+        """Split ``findings`` into new vs baselined, and list stale debt.
+
+        With ``k`` occurrences of a fingerprint baselined and ``m``
+        produced, the first ``min(k, m)`` (in source order) count as
+        baselined and the excess as new; a shortfall marks the entry
+        stale.
+        """
+        ordered = sorted(findings, key=Finding.sort_key)
+        seen: Counter = Counter()
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in ordered:
+            fp = finding.fingerprint()
+            allowance = int(self.entries.get(fp, {}).get("count", 0))
+            if seen[fp] < allowance:
+                baselined.append(finding)
+            else:
+                new.append(finding)
+            seen[fp] += 1
+        stale: List[Dict[str, object]] = []
+        for fp, entry in sorted(self.entries.items()):
+            produced = seen.get(fp, 0)
+            count = int(entry.get("count", 0))
+            if produced < count:
+                stale.append({**entry, "fingerprint": fp, "missing": count - produced})
+        return BaselineComparison(new=new, baselined=baselined, stale=stale)

@@ -1,0 +1,227 @@
+"""Determinism rule family.
+
+Everything stochastic must flow through named
+:class:`~repro.util.randomness.RandomRouter` streams, and engine code
+must never read wall clocks or iterate unordered sets into RNG draws or
+operation records — those are exactly the leaks that would break the
+seeded record-identity parity suites and journal-replay durability.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.base import ModuleContext, Rule, attribute_chain
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "NpRandomRule",
+    "RandomModuleRule",
+    "SetIterationRule",
+    "WallClockRule",
+]
+
+
+class RandomModuleRule(Rule):
+    """The stdlib ``random`` module is banned everywhere.
+
+    Its global Mersenne state is process-wide and unseedable per
+    component, so one stray draw perturbs every stream after it.
+    """
+
+    id = "random-module"
+    summary = "stdlib `random` used instead of a RandomRouter stream"
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        findings.append(ctx.finding(
+                            self.id, node,
+                            "import of stdlib `random`; draw from a "
+                            "RandomRouter stream instead",
+                        ))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    findings.append(ctx.finding(
+                        self.id, node,
+                        "import from stdlib `random`; draw from a "
+                        "RandomRouter stream instead",
+                    ))
+            elif isinstance(node, ast.Call):
+                chain = attribute_chain(node.func)
+                if chain and chain[0] == "random" and len(chain) > 1:
+                    findings.append(ctx.finding(
+                        self.id, node,
+                        f"call to `{'.'.join(chain)}` uses the global "
+                        "Mersenne state; use a RandomRouter stream",
+                    ))
+        return findings
+
+
+class NpRandomRule(Rule):
+    """`np.random.*` construction outside ``util/randomness.py``.
+
+    Constructing generators ad hoc (especially ``default_rng()`` with
+    no seed) forks anonymous streams the seeded parity suites cannot
+    reproduce; the router module is the single sanctioned choke point.
+    """
+
+    id = "np-random"
+    summary = "numpy RNG constructed outside util/randomness.py"
+
+    _ROOTS = ("np", "numpy")
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if ctx.config.in_scope(ctx.rel, ctx.config.randomness_modules):
+            return ()
+        findings: List[Finding] = []
+        direct_names: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module in (
+                "numpy.random",
+            ):
+                for alias in node.names:
+                    direct_names.add(alias.asname or alias.name)
+                findings.append(ctx.finding(
+                    self.id, node,
+                    "import from numpy.random; route streams through "
+                    "util/randomness.py (RandomRouter / stream / fallback_rng)",
+                ))
+            elif isinstance(node, ast.Call):
+                chain = attribute_chain(node.func)
+                if chain is None:
+                    continue
+                if (
+                    len(chain) >= 3
+                    and chain[0] in self._ROOTS
+                    and chain[1] == "random"
+                ):
+                    findings.append(ctx.finding(
+                        self.id, node,
+                        f"`{'.'.join(chain)}(...)` constructs an unrouted "
+                        "stream; use util/randomness.py "
+                        "(RandomRouter / stream / fallback_rng)",
+                    ))
+                elif len(chain) == 1 and chain[0] in direct_names:
+                    findings.append(ctx.finding(
+                        self.id, node,
+                        f"`{chain[0]}(...)` (imported from numpy.random) "
+                        "constructs an unrouted stream",
+                    ))
+        return findings
+
+
+class WallClockRule(Rule):
+    """Wall-clock reads inside engine modules.
+
+    Engine behavior may depend only on simulated time; real-clock reads
+    make replay (and the journal-replay durability property) diverge.
+    Duration probes (``perf_counter``) are allowed — they measure the
+    run, they don't steer it.
+    """
+
+    id = "wall-clock"
+    summary = "wall-clock read in a deterministic engine path"
+
+    _BANNED: Tuple[Tuple[str, ...], ...] = (
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("time", "monotonic"),
+        ("time", "monotonic_ns"),
+        ("time", "localtime"),
+        ("time", "gmtime"),
+        ("time", "ctime"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("date", "today"),
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.config.in_scope(ctx.rel, ctx.config.engine_scope):
+            return ()
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attribute_chain(node.func)
+            if chain is None:
+                continue
+            if any(chain[-len(b):] == b for b in self._BANNED if len(chain) >= len(b)):
+                findings.append(ctx.finding(
+                    self.id, node,
+                    f"`{'.'.join(chain)}()` reads the wall clock inside an "
+                    "engine path; engine state may depend only on "
+                    "simulated time",
+                ))
+        return findings
+
+
+class SetIterationRule(Rule):
+    """Iteration over unordered sets in functions that draw randomness
+    or record operations.
+
+    ``set`` iteration order is salted per process; feeding it into RNG
+    draws or :class:`OperationLog` records silently breaks seeded
+    record identity.  Iterate a sorted copy (or keep an ordered
+    structure) instead.
+    """
+
+    id = "set-iteration"
+    summary = "unordered-set iteration feeding RNG draws or op records"
+
+    _RECORD_ATTRS = ("journal", "log", "logs", "records", "anycasts", "multicasts")
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.config.in_scope(ctx.rel, ctx.config.engine_scope):
+            return ()
+        findings: List[Finding] = []
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not self._touches_rng_or_records(func):
+                continue
+            for node in ast.walk(func):
+                iters: List[ast.expr] = []
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    iters.append(node.iter)
+                elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                    iters.extend(gen.iter for gen in node.generators)
+                for it in iters:
+                    reason = self._set_expression(it)
+                    if reason is not None:
+                        findings.append(ctx.finding(
+                            self.id, it,
+                            f"iterating {reason} in a function that "
+                            "draws randomness or records operations; "
+                            "iterate `sorted(...)` instead",
+                        ))
+        return findings
+
+    def _touches_rng_or_records(self, func: ast.AST) -> bool:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Name) and node.id == "rng":
+                return True
+            if isinstance(node, ast.Attribute) and node.attr == "rng":
+                return True
+            if isinstance(node, ast.Call):
+                chain = attribute_chain(node.func)
+                if chain and len(chain) >= 2 and chain[-1] in ("append", "record"):
+                    if chain[-2] in self._RECORD_ATTRS:
+                        return True
+        return False
+
+    def _set_expression(self, node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Set):
+            return "a set literal"
+        if isinstance(node, ast.Call):
+            chain = attribute_chain(node.func)
+            if chain == ("set",) or chain == ("frozenset",):
+                return f"`{chain[0]}(...)`"
+            # x.intersection(...) / x.union(...) etc. return sets too,
+            # but only flag the unambiguous constructors and .keys() on
+            # set-typed dicts is indistinguishable — keep it precise.
+        return None

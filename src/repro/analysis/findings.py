@@ -1,0 +1,118 @@
+"""Findings and inline suppressions for avmemlint.
+
+A :class:`Finding` is one rule violation anchored to a source line; its
+:meth:`~Finding.fingerprint` deliberately excludes the line *number* so
+the committed baseline survives unrelated edits above a flagged line —
+only the rule, file, enclosing symbol, and the flagged statement's text
+identify a finding.
+
+Suppressions are inline comments honored on the flagged line or the
+line directly above it::
+
+    self.rng = np.random.default_rng(0)  # avmemlint: disable=np-random -- test-only fallback
+
+A reason (after ``--``) is mandatory: a suppression without one is
+inert and itself reported as ``bad-suppression``; a suppression that
+never matches a finding is reported as ``unused-suppression``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "BAD_SUPPRESSION",
+    "Finding",
+    "Suppression",
+    "UNUSED_SUPPRESSION",
+    "parse_suppressions",
+]
+
+#: meta rule ids emitted by the runner itself (not registered rules)
+BAD_SUPPRESSION = "bad-suppression"
+UNUSED_SUPPRESSION = "unused-suppression"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*avmemlint:\s*disable=([A-Za-z0-9_,\-]+)(?:\s*--\s*(.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at ``path:line``."""
+
+    rule: str
+    path: str  # forward-slash path relative to the lint root
+    line: int
+    column: int
+    message: str
+    symbol: str  # enclosing ``Class.method`` qualname, or "<module>"
+    snippet: str  # the flagged source line, stripped
+
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used by the baseline."""
+        payload = "|".join((self.rule, self.path, self.symbol, self.snippet))
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "symbol": self.symbol,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def render(self) -> str:
+        where = f" [in {self.symbol}]" if self.symbol != "<module>" else ""
+        return f"{self.path}:{self.line}: {self.rule}{where} {self.message}"
+
+    def sort_key(self) -> Tuple[str, int, str]:
+        return (self.path, self.line, self.rule)
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# avmemlint: disable=…`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: Optional[str]
+    used: bool = field(default=False, compare=False)
+
+    def matches(self, rule: str) -> bool:
+        return self.reason is not None and rule in self.rules
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    """Extract suppression comments via the tokenizer.
+
+    Tokenizing (rather than scanning raw lines) keeps string literals
+    that merely *contain* the marker — docs, fixtures, this module —
+    from being treated as live suppressions.
+    """
+    suppressions: List[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if not match:
+                continue
+            rules = tuple(r for r in match.group(1).split(",") if r)
+            reason = match.group(2)
+            suppressions.append(
+                Suppression(line=tok.start[0], rules=rules, reason=reason)
+            )
+    except tokenize.TokenError:  # pragma: no cover - unparseable tail
+        pass
+    return suppressions

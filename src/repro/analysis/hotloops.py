@@ -1,0 +1,103 @@
+"""Row-space hot-loop rule.
+
+The 1M-node roadmap item is blocked on residual per-node Python loops:
+anything O(N) in interpreter bytecode dominates once the columnar
+substrate made everything else O(N) in C.  This rule enumerates those
+loops in the designated hot modules — the committed baseline *is* the
+burn-down list (``repro lint --rules hot-loop``).
+
+Detection is name-based and deliberately over-approximate within the
+hot modules: a ``for`` statement (or comprehension) whose iterable is a
+population-shaped name — ``nodes``, ``node_ids``, ``population``, … per
+:attr:`LintConfig.population_names` — possibly behind ``.values()`` /
+``.items()`` / ``.keys()`` or an ``enumerate`` / ``sorted`` / ``list``
+/ ``tuple`` / ``reversed`` / ``zip`` / ``range(len(...))`` wrapper.
+k-sized loops (per-neighbor membership walks) use different names and
+stay silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from repro.analysis.base import ModuleContext, Rule, attribute_chain
+from repro.analysis.findings import Finding
+
+__all__ = ["HotLoopRule"]
+
+_WRAPPERS = ("enumerate", "sorted", "list", "tuple", "reversed", "set", "frozenset")
+_VIEW_METHODS = ("values", "items", "keys")
+
+
+class HotLoopRule(Rule):
+    id = "hot-loop"
+    summary = "per-node Python loop over a population-sized iterable"
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.config.in_scope(ctx.rel, ctx.config.hot_modules):
+            return ()
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            iters: List[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                described = self._population_iterable(it, ctx)
+                if described is not None:
+                    findings.append(ctx.finding(
+                        self.id, it,
+                        f"per-node Python loop over `{described}`; "
+                        "operate on the Population row space "
+                        "(vectorized columns) instead",
+                    ))
+        return findings
+
+    def _population_iterable(self, node: ast.expr, ctx: ModuleContext) -> Optional[str]:
+        """The source text of a population-sized iterable, or None."""
+        core = self._unwrap(node)
+        if core is None:
+            return None
+        name = self._terminal_name(core)
+        if name is None or name not in ctx.config.population_names:
+            return None
+        return ast.unparse(node)
+
+    def _unwrap(self, node: ast.expr) -> Optional[ast.expr]:
+        """Peel wrapper calls down to the underlying iterable."""
+        while True:
+            if isinstance(node, ast.Call):
+                chain = attribute_chain(node.func)
+                if chain is None:
+                    return None
+                # x.values() / x.items() / x.keys() -> x
+                if len(chain) >= 2 and chain[-1] in _VIEW_METHODS:
+                    node = node.func.value  # type: ignore[union-attr]
+                    continue
+                # enumerate(x), sorted(x), zip(a, b) ... -> first matching arg
+                if chain[-1] in _WRAPPERS or chain == ("zip",):
+                    if not node.args:
+                        return None
+                    node = node.args[0]
+                    continue
+                # range(len(x)) -> x
+                if chain == ("range",) and len(node.args) == 1:
+                    inner = node.args[0]
+                    if (
+                        isinstance(inner, ast.Call)
+                        and attribute_chain(inner.func) == ("len",)
+                        and inner.args
+                    ):
+                        node = inner.args[0]
+                        continue
+                return None
+            return node
+
+    def _terminal_name(self, node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return None

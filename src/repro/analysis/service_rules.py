@@ -1,0 +1,435 @@
+"""Service-layer discipline rules: lock coverage and journal coverage.
+
+Both are *project* rules — they need every service module at once,
+because the thing being verified is reachability: a mutating method
+with no lock of its own is fine exactly when every call site holds the
+lock for it (the orchestrator's ``run_command`` pattern).
+
+**lock-discipline** — for each class that creates a ``threading.Lock``/
+``RLock`` attribute in ``__init__`` (a *guarded* class), every method
+that mutates ``self`` state must either
+
+* acquire a lock itself (``with self._lock``, ``with session.lock``,
+  ``….lock.acquire(…)``), or
+* be reachable only from lock-holding contexts: lock-acquiring
+  functions, ``__init__``/classmethod constructors (the instance is not
+  yet published to other threads), or callables passed to a configured
+  lock entry point (:attr:`LintConfig.lock_entrypoints`, by default
+  ``run_command``, which runs its function argument under the session
+  lock).
+
+Reachability is a fixpoint over the intra-package call graph, matched
+by method *name* (the honest limit of name-based static analysis; two
+same-named methods share a verdict).
+
+**journal-coverage** — for each class that owns a ``self.journal`` list,
+every method that mutates simulation state (``….run(plan)``,
+``….run_until(…)``, ``….step()``, or appends to ``self.logs``) must
+append a journal entry somewhere in its intra-class call closure —
+otherwise a replayed journal silently diverges from the live run.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.base import ModuleContext, Rule, attribute_chain
+from repro.analysis.findings import Finding
+
+__all__ = ["LockDisciplineRule", "JournalCoverageRule"]
+
+#: attribute names that read as locks when acquired via ``with``/``acquire``
+_LOCK_NAME_HINTS = ("lock", "_lock")
+
+_MUTATING_CALLS = (
+    "append", "extend", "insert", "remove", "pop", "clear", "update",
+    "add", "discard", "setdefault", "popitem",
+)
+
+_ENGINE_MUTATORS = ("run", "run_until", "step")
+
+
+@dataclass
+class _FunctionInfo:
+    key: str  # module-rel + qualname, unique
+    name: str  # bare name ("advance", "<lambda>")
+    node: ast.AST
+    ctx: ModuleContext
+    cls: Optional[str]  # owning class name, if a method
+    is_constructor: bool = False
+    protected: bool = False  # acquires a lock itself / constructor / entry arg
+    tainted: bool = False  # reachable from a context that holds no lock
+    mutated_attrs: Tuple[str, ...] = ()
+    call_sites: List[str] = field(default_factory=list)  # keys of callers
+
+
+def _is_lock_attr(name: str, known: Set[str]) -> bool:
+    return name in known or any(name.endswith(h) for h in _LOCK_NAME_HINTS)
+
+
+def _acquires_lock(func: ast.AST, known_locks: Set[str]) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.With) or isinstance(node, ast.AsyncWith):
+            for item in node.items:
+                chain = attribute_chain(item.context_expr)
+                if chain and _is_lock_attr(chain[-1], known_locks):
+                    return True
+        elif isinstance(node, ast.Call):
+            chain = attribute_chain(node.func)
+            if (
+                chain
+                and len(chain) >= 2
+                and chain[-1] == "acquire"
+                and _is_lock_attr(chain[-2], known_locks)
+            ):
+                return True
+    return False
+
+
+def _self_mutations(func: ast.AST, lock_attrs: Set[str]) -> Tuple[str, ...]:
+    """Names of ``self`` attributes this function mutates."""
+    mutated: List[str] = []
+
+    def target_attr(target: ast.expr) -> Optional[str]:
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name):
+            if target.value.id == "self" and not _is_lock_attr(target.attr, lock_attrs):
+                return target.attr
+        return None
+
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for t in targets:
+                attr = target_attr(t)
+                if attr is not None:
+                    mutated.append(attr)
+        elif isinstance(node, ast.Delete):
+            for t in node.targets:
+                attr = target_attr(t)
+                if attr is not None:
+                    mutated.append(attr)
+        elif isinstance(node, ast.Call):
+            chain = attribute_chain(node.func)
+            if (
+                chain
+                and len(chain) >= 3
+                and chain[0] == "self"
+                and chain[-1] in _MUTATING_CALLS
+            ):
+                mutated.append(chain[1])
+    return tuple(dict.fromkeys(mutated))
+
+
+class _ServiceModel:
+    """Shared structure: functions, guarded classes, call graph."""
+
+    def __init__(self, contexts: List[ModuleContext]):
+        self.contexts = [
+            ctx
+            for ctx in contexts
+            if ctx.config.in_scope(ctx.rel, ctx.config.service_modules)
+        ]
+        self.lock_attrs: Dict[str, Set[str]] = {}  # class -> lock attr names
+        self.journal_classes: Set[str] = set()
+        self.functions: Dict[str, _FunctionInfo] = {}
+        self._by_name: Dict[str, List[_FunctionInfo]] = {}
+        self._entry_protected_names: Set[str] = set()
+        for ctx in self.contexts:
+            self._scan_classes(ctx)
+        known_locks = set().union(*self.lock_attrs.values()) if self.lock_attrs else set()
+        self.known_locks = known_locks
+        for ctx in self.contexts:
+            self._collect_functions(ctx)
+        for ctx in self.contexts:
+            self._collect_entry_args(ctx)
+        self._collect_call_sites()
+        self._fixpoint()
+
+    # -- discovery -----------------------------------------------------
+    def _scan_classes(self, ctx: ModuleContext) -> None:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            locks: Set[str] = set()
+            has_journal = False
+            for item in node.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if item.name != "__init__":
+                    continue
+                for stmt in ast.walk(item):
+                    if not isinstance(stmt, ast.Assign):
+                        continue
+                    for target in stmt.targets:
+                        if not (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            continue
+                        if isinstance(stmt.value, ast.Call):
+                            chain = attribute_chain(stmt.value.func)
+                            if chain and chain[-1] in ("Lock", "RLock"):
+                                locks.add(target.attr)
+                        if target.attr == "journal":
+                            has_journal = True
+            if locks:
+                self.lock_attrs[node.name] = locks
+            if has_journal:
+                self.journal_classes.add(node.name)
+
+    def _collect_functions(self, ctx: ModuleContext) -> None:
+        model = self
+
+        class Collector(ast.NodeVisitor):
+            def __init__(self):
+                self.class_stack: List[str] = []
+                self.counter = 0
+
+            def visit_ClassDef(self, node: ast.ClassDef) -> None:
+                self.class_stack.append(node.name)
+                self.generic_visit(node)
+                self.class_stack.pop()
+
+            def _add(self, node, name: str) -> None:
+                cls = self.class_stack[-1] if self.class_stack else None
+                self.counter += 1
+                is_ctor = False
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    is_ctor = name == "__init__" or any(
+                        isinstance(d, ast.Name) and d.id == "classmethod"
+                        for d in node.decorator_list
+                    )
+                info = _FunctionInfo(
+                    key=f"{ctx.rel}:{self.counter}:{name}",
+                    name=name,
+                    node=node,
+                    ctx=ctx,
+                    cls=cls,
+                    is_constructor=is_ctor,
+                )
+                info.protected = is_ctor or _acquires_lock(node, model.known_locks)
+                lock_attrs = model.lock_attrs.get(cls or "", set())
+                info.mutated_attrs = _self_mutations(node, lock_attrs)
+                model.functions[info.key] = info
+                model._by_name.setdefault(name, []).append(info)
+
+            def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+                self._add(node, node.name)
+                self.generic_visit(node)
+
+            def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+                self._add(node, node.name)
+                self.generic_visit(node)
+
+            def visit_Lambda(self, node: ast.Lambda) -> None:
+                self._add(node, "<lambda>")
+                self.generic_visit(node)
+
+        Collector().visit(ctx.tree)
+
+    def _collect_entry_args(self, ctx: ModuleContext) -> None:
+        """Callables handed to a lock entry point run under the lock."""
+        entrypoints = ctx.config.lock_entrypoints
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attribute_chain(node.func)
+            if not chain or chain[-1] not in entrypoints:
+                continue
+            for arg in node.args:
+                if isinstance(arg, ast.Lambda):
+                    info = self._info_for_node(arg, ctx)
+                    if info is not None:
+                        info.protected = True
+                elif isinstance(arg, ast.Name):
+                    self._entry_protected_names.add(arg.id)
+                elif isinstance(arg, ast.Attribute):
+                    self._entry_protected_names.add(arg.attr)
+        for name in self._entry_protected_names:
+            for info in self._by_name.get(name, []):
+                info.protected = True
+
+    def _info_for_node(self, node: ast.AST, ctx: ModuleContext) -> Optional[_FunctionInfo]:
+        for info in self.functions.values():
+            if info.node is node and info.ctx is ctx:
+                return info
+        return None
+
+    def _collect_call_sites(self) -> None:
+        """Attribute-call sites, attributed to their enclosing function."""
+        for ctx in self.contexts:
+            by_node = {
+                id(info.node): info.key
+                for info in self.functions.values()
+                if info.ctx is ctx
+            }
+            enclosing: Dict[int, str] = {}  # id(node) -> enclosing function key
+
+            def mark(root: ast.AST, key: str) -> None:
+                for child in ast.iter_child_nodes(root):
+                    child_key = by_node.get(id(child), key)
+                    enclosing[id(child)] = child_key
+                    mark(child, child_key)
+
+            mark(ctx.tree, "<module>")
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                chain = attribute_chain(node.func)
+                if not chain:
+                    continue
+                targets = self._by_name.get(chain[-1])
+                if not targets:
+                    continue
+                caller = enclosing.get(id(node), "<module>")
+                for info in targets:
+                    info.call_sites.append(caller)
+
+    def _fixpoint(self) -> None:
+        """Propagate *taint* — reachability from lock-free contexts.
+
+        Roots are the contexts that demonstrably hold no lock: module
+        level, and unprotected functions nobody in the scanned modules
+        calls (their callers, if any, are outside the analysis — we
+        cannot prove they hold the lock).  Taint flows caller→callee
+        and stops at any protected function.  This is a greatest-
+        fixpoint formulation on purpose: mutually recursive commands
+        whose only external callers are protected stay clean, which the
+        least-fixpoint "safe" direction would deadlock on.
+        """
+        for info in self.functions.values():
+            info.tainted = not info.protected and (
+                not info.call_sites or "<module>" in info.call_sites
+            )
+        changed = True
+        while changed:
+            changed = False
+            for info in self.functions.values():
+                if info.tainted or info.protected:
+                    continue
+                if any(
+                    caller != "<module>" and self.functions[caller].tainted
+                    for caller in info.call_sites
+                ):
+                    info.tainted = True
+                    changed = True
+
+    # -- journal helpers ----------------------------------------------
+    def self_calls(self, func: ast.AST) -> Set[str]:
+        out: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                chain = attribute_chain(node.func)
+                if chain and len(chain) == 2 and chain[0] == "self":
+                    out.add(chain[1])
+        return out
+
+    def appends_journal(self, func: ast.AST) -> bool:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                chain = attribute_chain(node.func)
+                if chain and chain[-2:] == ("journal", "append"):
+                    return True
+        return False
+
+    def mutates_engine_state(self, func: ast.AST) -> Optional[str]:
+        """A short description of the first engine mutation, or None."""
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attribute_chain(node.func)
+            if not chain:
+                continue
+            if chain[:2] == ("self", "logs") and chain[-1] in _MUTATING_CALLS:
+                return "self.logs." + chain[-1]
+            if (
+                len(chain) >= 2
+                and chain[-1] in _ENGINE_MUTATORS
+                and not (len(chain) == 2 and chain[0] == "self")
+            ):
+                return ".".join(chain)
+        return None
+
+
+class LockDisciplineRule(Rule):
+    id = "lock-discipline"
+    summary = "guarded-class method mutates state without the lock"
+
+    def check_project(self, contexts: List[ModuleContext]) -> Iterable[Finding]:
+        model = _ServiceModel(contexts)
+        findings: List[Finding] = []
+        for info in model.functions.values():
+            if info.cls not in model.lock_attrs:
+                continue
+            if info.is_constructor or not info.mutated_attrs:
+                continue
+            if not info.tainted:
+                continue
+            locks = ", ".join(sorted(model.lock_attrs[info.cls]))
+            attrs = ", ".join(f"self.{a}" for a in info.mutated_attrs)
+            reason = (
+                "has call sites outside lock-holding contexts"
+                if info.call_sites
+                else "has no observed lock-holding caller"
+            )
+            findings.append(info.ctx.finding(
+                self.id, info.node.lineno,
+                f"{info.cls}.{info.name} mutates {attrs} without acquiring "
+                f"{locks} and {reason}",
+                column=info.node.col_offset,
+            ))
+        return findings
+
+
+class JournalCoverageRule(Rule):
+    id = "journal-coverage"
+    summary = "state-mutating session command skips the journal"
+
+    def check_project(self, contexts: List[ModuleContext]) -> Iterable[Finding]:
+        model = _ServiceModel(contexts)
+        findings: List[Finding] = []
+        by_class: Dict[str, List[_FunctionInfo]] = {}
+        for info in model.functions.values():
+            if info.cls in model.journal_classes and isinstance(
+                info.node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                by_class.setdefault(info.cls, []).append(info)
+        for cls, methods in by_class.items():
+            journaling = {m.name for m in methods if model.appends_journal(m.node)}
+            calls = {m.name: model.self_calls(m.node) for m in methods}
+            for info in methods:
+                if info.is_constructor:
+                    continue
+                mutation = model.mutates_engine_state(info.node)
+                if mutation is None:
+                    continue
+                if self._reaches_journal(info.name, journaling, calls):
+                    continue
+                findings.append(info.ctx.finding(
+                    self.id, info.node.lineno,
+                    f"{cls}.{info.name} mutates simulation state "
+                    f"(`{mutation}`) but never appends to self.journal — "
+                    "journal replay would diverge",
+                    column=info.node.col_offset,
+                ))
+        return findings
+
+    def _reaches_journal(
+        self, name: str, journaling: Set[str], calls: Dict[str, Set[str]]
+    ) -> bool:
+        seen: Set[str] = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            if current in journaling:
+                return True
+            frontier.extend(calls.get(current, ()))
+        return False

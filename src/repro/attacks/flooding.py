@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.ids import NodeId
 from repro.core.node import AvmemNode
 from repro.core.predicates import AvmemPredicate, NodeDescriptor
+from repro.util.randomness import fallback_rng
 
 __all__ = [
     "BandedRates",
@@ -106,7 +107,7 @@ def flooding_attack_experiment(
         Cap verification targets per attacker (uniform subsample) to keep
         the O(attackers × targets) experiment tractable.
     """
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = rng if rng is not None else fallback_rng()
     population = list(nodes)
     attackers = list(attackers) if attackers is not None else population
     rates: Dict[NodeId, float] = {}

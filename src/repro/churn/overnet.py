@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.churn.models import DiurnalProfile, sample_epoch_matrix
 from repro.churn.trace import ChurnTrace
+from repro.util.randomness import fallback_rng
 from repro.util.validation import check_positive, check_probability
 
 __all__ = [
@@ -162,7 +163,7 @@ def generate_overnet_trace(
     if rng is not None and seed is not None:
         raise ValueError("pass either rng or seed, not both")
     if rng is None:
-        rng = np.random.default_rng(0 if seed is None else seed)
+        rng = fallback_rng(0 if seed is None else seed)
     if node_keys is None:
         node_keys = list(range(config.hosts))
     elif len(node_keys) != config.hosts:

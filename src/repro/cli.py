@@ -15,6 +15,10 @@
     avmem telemetry summarize before.json after.json
     avmem telemetry trend benchmarks/results --fail-on-regression
     avmem serve --port 8414 --state-dir avmem-sessions --idle-timeout 900
+    avmem lint
+    avmem lint --format json --fail-on-new --fail-on-stale
+    avmem lint --rules hot-loop --show-baselined
+    avmem lint --write-baseline
 
 ``python -m repro`` is an alias for the ``avmem`` entry point.
 """
@@ -192,6 +196,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log every request to stderr"
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run avmemlint, the AST-based invariant checker, over src/repro",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=None, metavar="PATH",
+        help="files/directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="fmt",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--baseline", metavar="PATH", default="lint-baseline.json",
+        help="baseline file of known findings (default: lint-baseline.json)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file; every finding counts as new",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="regenerate the baseline from this run's findings and exit",
+    )
+    lint.add_argument(
+        "--fail-on-new", action="store_true",
+        help="exit 1 when any non-baselined finding exists (CI gate)",
+    )
+    lint.add_argument(
+        "--fail-on-stale", action="store_true",
+        help="exit 1 when the tree no longer produces a baselined finding "
+        "(paid-down debt must be removed via --write-baseline)",
+    )
+    lint.add_argument(
+        "--rules", metavar="ID[,ID...]", default=None,
+        help="run only these rule ids (see --list-rules)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    lint.add_argument(
+        "--show-baselined", action="store_true",
+        help="list baselined findings individually instead of a count",
     )
     return parser
 
@@ -608,6 +658,59 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import (
+        Baseline,
+        build_registry,
+        render_json,
+        render_text,
+        run_lint,
+    )
+
+    registry = build_registry()
+    if args.list_rules:
+        width = max(len(rule_id) for rule_id in registry.rules)
+        for rule_id, rule in sorted(registry.rules.items()):
+            print(f"{rule_id:<{width}}  {rule.summary}")
+        return 0
+    paths = args.paths or ["src/repro"]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        raise SystemExit(f"no such path(s): {', '.join(missing)}")
+    rules = [r for r in args.rules.split(",") if r] if args.rules else None
+    try:
+        findings = run_lint(paths, rules=rules)
+    except ValueError as exc:  # unknown rule id
+        raise SystemExit(str(exc)) from None
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(args.baseline)
+        print(f"wrote {args.baseline} ({len(findings)} finding(s) baselined)")
+        return 0
+    baseline = Baseline.empty()
+    if not args.no_baseline and os.path.exists(args.baseline):
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (ValueError, OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"cannot load baseline {args.baseline!r}: {exc}") from None
+    if rules is not None:
+        # A rule-filtered run must not read the skipped rules' baseline
+        # entries as paid-down debt.
+        baseline = Baseline({
+            fp: entry
+            for fp, entry in baseline.entries.items()
+            if entry.get("rule") in rules
+        })
+    comparison = baseline.compare(findings)
+    if args.fmt == "json":
+        print(render_json(comparison))
+    else:
+        print(render_text(comparison, show_baselined=args.show_baselined))
+    failed = (args.fail_on_new and comparison.new) or (
+        args.fail_on_stale and comparison.stale
+    )
+    return 1 if failed else 0
+
+
 def _cmd_snapshot(args) -> int:
     simulation = build_simulation(scale=args.scale, seed=args.seed)
     snapshot = take_snapshot(simulation)
@@ -639,6 +742,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "ops": _cmd_ops,
         "telemetry": _cmd_telemetry,
         "serve": _cmd_serve,
+        "lint": _cmd_lint,
     }
     try:
         return handlers[args.command](args)

@@ -33,8 +33,8 @@ from repro.core.predicates import (
 )
 from repro.core.slivers import (
     ConstantHorizontal,
-    FunctionRule,
     ConstantVertical,
+    FunctionRule,
     HorizontalSliverRule,
     LogarithmicConstantHorizontal,
     LogarithmicDecreasingVertical,

@@ -35,6 +35,7 @@ from repro.monitor.base import CoarseViewProvider
 from repro.monitor.cache import CachedAvailabilityView
 from repro.sim.engine import PeriodicTask, Simulator
 from repro.sim.network import Envelope, Network
+from repro.util.randomness import fallback_rng
 
 __all__ = ["AvmemNode"]
 
@@ -92,7 +93,7 @@ class AvmemNode:
         self.config = config
         self.availability = availability_view
         self.coarse_view = coarse_view
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng if rng is not None else fallback_rng()
         self.population = population
         self.row = int(row) if row is not None else None
         self.lists = MembershipLists(node_id, population=population)

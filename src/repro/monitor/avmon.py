@@ -28,6 +28,7 @@ from repro.core.hashing import Mix64PairHash
 from repro.core.ids import NodeId
 from repro.monitor.base import CoarseViewProvider
 from repro.sim.engine import PeriodicTask, Simulator
+from repro.util.randomness import fallback_rng
 from repro.util.validation import check_positive
 
 __all__ = ["AvmonService", "AvmonConfig", "MonitorRecord"]
@@ -96,7 +97,7 @@ class AvmonService:
         self.coarse_view = coarse_view
         self.n_star = check_positive(n_star, "n_star")
         self.config = config if config is not None else AvmonConfig()
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng if rng is not None else fallback_rng()
         self._hash = Mix64PairHash(salt=_AVMON_SALT)
         self._selection_threshold = min(1.0, self.config.monitors_per_node / self.n_star)
         # monitor -> set of targets it has discovered it must monitor

@@ -26,7 +26,7 @@ import numpy as np
 from repro.churn.trace import ChurnTrace
 from repro.core.ids import NodeId
 from repro.sim.engine import Simulator
-from repro.util.randomness import derive_seed
+from repro.util.randomness import stream
 from repro.util.validation import check_non_negative, check_positive
 
 __all__ = ["OracleAvailability"]
@@ -123,9 +123,9 @@ class OracleAvailability:
         bucket = int(now / self.noise_bucket)
         cached = self._noise_buckets.get(bucket)
         if cached is None:
-            rng = np.random.default_rng(
-                derive_seed(self._seed, f"oracle-noise-bucket:{bucket}")
-            )
+            # stream() == default_rng(derive_seed(...)): same generator,
+            # same draws, routed through the sanctioned constructor.
+            rng = stream(self._seed, f"oracle-noise-bucket:{bucket}")
             cached = rng.normal(0.0, self.noise_std, self.trace.node_count)
             if len(self._noise_buckets) > 64:
                 self._noise_buckets.clear()

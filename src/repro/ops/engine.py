@@ -25,8 +25,8 @@ import numpy as np
 
 from repro.core.config import AvmemConfig
 from repro.core.ids import NodeId
-from repro.core.node import AvmemNode
 from repro.core.membership import SliverSelector
+from repro.core.node import AvmemNode
 from repro.ops.anycast import ForwardingPolicy, make_policy
 from repro.ops.messages import AnycastAck, AnycastMessage, MulticastMessage
 from repro.ops.results import AnycastRecord, AnycastStatus, MulticastRecord
@@ -34,6 +34,7 @@ from repro.ops.spec import TargetSpec
 from repro.sim.engine import ScheduledEvent, Simulator
 from repro.sim.network import Envelope, Network
 from repro.telemetry import current as current_telemetry
+from repro.util.randomness import fallback_rng
 
 __all__ = ["OperationEngine"]
 
@@ -111,7 +112,7 @@ class OperationEngine:
         #: (the simulation answers straight from its churn timeline);
         #: None falls back to the scalar O(N) loop over truth_availability
         self.truth_eligible = truth_eligible
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng if rng is not None else fallback_rng()
         self.verify_inbound = verify_inbound
         # Captured once (see Simulator): per-session recorders route
         # through construction-time capture, not a process-wide global.

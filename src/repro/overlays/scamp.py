@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.core.ids import NodeId
+from repro.util.randomness import fallback_rng
 
 __all__ = ["ScampMembership"]
 
@@ -45,7 +46,7 @@ class ScampMembership:
         if c < 0:
             raise ValueError(f"c must be non-negative, got {c}")
         self.c = c
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng if rng is not None else fallback_rng()
         self._views: Dict[NodeId, List[NodeId]] = {}
         self.forward_count = 0
 

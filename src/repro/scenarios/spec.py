@@ -44,6 +44,7 @@ from repro.scenarios.generators import (
     renewal_timeline,
     weibull_sessions,
 )
+from repro.util.randomness import fallback_rng
 from repro.util.validation import check_positive, check_probability
 
 __all__ = [
@@ -394,7 +395,7 @@ class ScenarioSpec:
         if rng is not None and seed is not None:
             raise ValueError("pass either rng or seed, not both")
         if rng is None:
-            rng = np.random.default_rng(0 if seed is None else seed)
+            rng = fallback_rng(0 if seed is None else seed)
         targets = self.population.sample(hosts, rng)
         timeline = self.churn.generate(targets, epochs, epoch_seconds, rng)
         for perturbation in self.perturbations:

@@ -29,8 +29,8 @@ from typing import Dict, List, Optional
 
 from repro.ops.log import OperationLog
 from repro.ops.plan import OperationPlan
-from repro.simulation import AvmemSimulation
 from repro.service.spec import SessionSpec
+from repro.simulation import AvmemSimulation
 from repro.telemetry import TelemetryRecorder, use_recorder
 
 __all__ = ["SimulationSession"]

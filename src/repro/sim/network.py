@@ -32,6 +32,7 @@ import numpy as np
 from repro.sim.engine import Simulator
 from repro.sim.latency import LatencyModel, UniformLatency
 from repro.telemetry import current as current_telemetry
+from repro.util.randomness import fallback_rng
 
 __all__ = ["Network", "NetworkStats", "PresenceOracle", "Envelope", "DropReason"]
 
@@ -157,7 +158,7 @@ class Network:
         self.sim = sim
         self.latency = latency if latency is not None else UniformLatency()
         self.presence = presence if presence is not None else AlwaysOnline()
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng if rng is not None else fallback_rng()
         self.check_sender = check_sender
         self.batched = batched
         self.batch_threshold = (

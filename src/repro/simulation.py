@@ -31,11 +31,11 @@ import numpy as np
 
 from repro.churn.overnet import OvernetTraceConfig, generate_overnet_trace
 from repro.churn.trace import ChurnTrace
+from repro.core.availability import AvailabilityPdf
 from repro.core.config import AvmemConfig
 from repro.core.ids import NodeId, make_node_ids
 from repro.core.node import AvmemNode
 from repro.core.population import Population
-from repro.core.availability import AvailabilityPdf
 from repro.core.predicates import (
     AvmemPredicate,
     NodeDescriptor,

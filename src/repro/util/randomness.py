@@ -21,7 +21,7 @@ from typing import Dict, Iterable, Optional
 
 import numpy as np
 
-__all__ = ["RandomRouter", "derive_seed", "stream"]
+__all__ = ["RandomRouter", "derive_seed", "fallback_rng", "stream"]
 
 
 def derive_seed(root_seed: int, name: str) -> int:
@@ -41,6 +41,23 @@ def derive_seed(root_seed: int, name: str) -> int:
 def stream(root_seed: int, name: str) -> np.random.Generator:
     """Create an independent ``Generator`` for component ``name``."""
     return np.random.default_rng(derive_seed(root_seed, name))
+
+
+def fallback_rng(seed: int = 0) -> np.random.Generator:
+    """Deterministic stand-in generator for components built without one.
+
+    Components that take an optional ``rng`` parameter (engine, network,
+    overlays, monitors) default to this when constructed directly — unit
+    tests and standalone scripts.  The full simulation wiring always
+    passes a named :class:`RandomRouter` stream instead; this is the one
+    sanctioned way to construct a generator outside that router (the
+    ``np-random`` avmemlint rule flags any other construction site).
+
+    Returns exactly ``np.random.default_rng(seed)`` — the historical
+    per-component default — so seeded streams in existing tests are
+    unchanged.
+    """
+    return np.random.default_rng(seed)
 
 
 class RandomRouter:

@@ -1,0 +1,34 @@
+"""True positives for every determinism rule (see test_avmemlint.py)."""
+
+import random
+import time
+from random import shuffle
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def draw_stdlib():
+    return random.random()
+
+
+def reorder(items):
+    shuffle(items)
+    return items
+
+
+def fork_np():
+    return np.random.default_rng()
+
+
+def fork_named():
+    return default_rng()
+
+
+def stamp():
+    return time.time()
+
+
+def pick(rng):
+    ordered = [m for m in {3, 1, 2}]
+    return rng.choice(ordered)

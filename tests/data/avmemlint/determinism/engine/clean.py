@@ -1,0 +1,18 @@
+"""Allowed patterns the determinism rules must stay silent on."""
+
+import time
+from typing import Optional
+
+import numpy as np
+
+
+def probe():
+    # Duration probes measure the run without steering it.
+    return time.perf_counter()
+
+
+def draw(rng: Optional[np.random.Generator], members):
+    # Annotations mentioning np.random and iteration over a *sorted*
+    # copy are both fine.
+    ordered = [m for m in sorted(members)]
+    return ordered[0] if ordered else None

@@ -1,0 +1,14 @@
+"""Each violation here carries a justified inline waiver: zero findings."""
+
+import numpy as np
+
+
+def fork_np():
+    # avmemlint: disable=np-random -- fixture: documented legacy fallback
+    return np.random.default_rng(0)
+
+
+def stamp():
+    import time
+
+    return time.time()  # avmemlint: disable=wall-clock -- fixture: display only

@@ -1,0 +1,11 @@
+"""Sanctioned RNG module: generator construction is allowed here.
+
+The determinism fixtures' LintConfig points ``randomness_modules`` at
+this file, mirroring the real tree's ``util/randomness.py`` exemption.
+"""
+
+import numpy as np
+
+
+def make(seed):
+    return np.random.default_rng(seed)

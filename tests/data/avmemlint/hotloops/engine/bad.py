@@ -1,0 +1,23 @@
+"""Per-node Python loops the hot-loop rule must flag (one per shape)."""
+
+
+def total_degree(nodes):
+    acc = 0
+    for node in nodes:
+        acc += node.degree
+    return acc
+
+
+def index_walk(node_ids):
+    out = []
+    for i in range(len(node_ids)):
+        out.append(i)
+    return out
+
+
+def labels(population):
+    return [p.label for p in sorted(population)]
+
+
+def degrees(descriptors):
+    return {key: value for key, value in descriptors.items()}

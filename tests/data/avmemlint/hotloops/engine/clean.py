@@ -1,0 +1,12 @@
+"""k-sized loops (per-neighbor walks) the hot-loop rule must not flag."""
+
+
+def neighbor_sum(members):
+    acc = 0
+    for member in members:
+        acc += member
+    return acc
+
+
+def fanout(targets):
+    return [t for t in targets]

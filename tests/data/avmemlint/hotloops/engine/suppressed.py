@@ -1,0 +1,8 @@
+"""A baptised hot loop: suppressed with a reason, so no finding."""
+
+
+def summarize(nodes):
+    total = 0
+    for node in nodes:  # avmemlint: disable=hot-loop -- fixture: O(N) report path
+        total += node
+    return total

@@ -1,0 +1,5 @@
+"""Outside the hot-module scope: population loops are tolerated here."""
+
+
+def report(nodes):
+    return [node.label for node in nodes]

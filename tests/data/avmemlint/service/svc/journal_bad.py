@@ -1,0 +1,10 @@
+"""Journal-coverage true positive: engine mutation, no journal append."""
+
+
+class BadCommands:
+    def __init__(self, sim):
+        self.sim = sim
+        self.journal = []
+
+    def advance(self, horizon):
+        self.sim.run_until(horizon)

@@ -1,0 +1,14 @@
+"""Journal-coverage negative: the append happens in a called helper."""
+
+
+class GoodCommands:
+    def __init__(self, sim):
+        self.sim = sim
+        self.journal = []
+
+    def advance(self, horizon):
+        self.sim.run_until(horizon)
+        self._record("advance", horizon)
+
+    def _record(self, op, arg):
+        self.journal.append((op, arg))

@@ -1,0 +1,12 @@
+"""Lock-discipline true positive: unprotected mutation, no safe caller."""
+
+import threading
+
+
+class BadSession:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self.counter = 0
+
+    def bump(self):
+        self.counter += 1

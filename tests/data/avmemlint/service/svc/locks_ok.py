@@ -1,0 +1,35 @@
+"""Lock-discipline negatives: direct acquisition and run_command reach.
+
+``GoodSession.bump`` holds its own lock; ``GoodSession._bump_locked``
+never acquires one but is only reachable through the orchestrator's
+``run_command`` entry point, which runs its argument under the session
+lock — the reachability half of the rule.
+"""
+
+import threading
+
+
+class GoodSession:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self.counter = 0
+
+    def bump(self):
+        with self._lock:
+            self.counter += 1
+
+    def _bump_locked(self):
+        self.counter += 1
+
+
+class Orchestrator:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self.sessions = {}
+
+    def run_command(self, fn):
+        with self._lock:
+            return fn()
+
+    def advance(self, session):
+        return self.run_command(lambda: session._bump_locked())

@@ -1,0 +1,13 @@
+"""Suppression hygiene: a reason-less (inert) marker and an unused one."""
+
+import numpy as np
+
+
+def fork():
+    # avmemlint: disable=np-random
+    return np.random.default_rng(1)
+
+
+def quiet():
+    # avmemlint: disable=wall-clock -- nothing here reads a clock
+    return 7
